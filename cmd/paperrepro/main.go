@@ -1,0 +1,72 @@
+// Command paperrepro regenerates every table and figure of the paper's
+// evaluation section and writes the textual report.
+//
+// Examples:
+//
+//	paperrepro                 # full-scale reproduction (reference traces)
+//	paperrepro -quick          # reduced configuration, ~1 second
+//	paperrepro -out report.txt # write the report to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"rentplan/internal/experiments"
+)
+
+func main() {
+	var (
+		quick  = flag.Bool("quick", false, "use the reduced test-scale configuration")
+		search = flag.Bool("search-orders", false, "run the (slow) SARIMA order search for Fig. 8")
+		out    = flag.String("out", "", "output file (default stdout)")
+		seed   = flag.Int64("seed", 7, "seed for the quick configuration")
+		noExt  = flag.Bool("no-extensions", false, "skip the beyond-the-paper extension studies")
+	)
+	flag.Parse()
+
+	var cfg *experiments.Config
+	var err error
+	if *quick {
+		cfg, err = experiments.QuickConfig(*seed)
+	} else {
+		cfg, err = experiments.DefaultConfig()
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	start := time.Now()
+	fmt.Fprintf(w, "Reproduction of: Zhao et al., \"Optimal Resource Rental Planning for\n")
+	fmt.Fprintf(w, "Elastic Applications in Cloud Market\", IPDPS 2012.\n")
+	fmt.Fprintf(w, "Configuration: %d traces, history %d days, %d evaluation windows.\n\n",
+		len(cfg.Traces), cfg.HistDays, len(cfg.EvalDays))
+	if err := experiments.RunAll(cfg, w, *search); err != nil {
+		fatal(err)
+	}
+	if !*noExt {
+		fmt.Fprintln(w)
+		if err := experiments.RunExtensions(cfg, w); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(w, "\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paperrepro:", err)
+	os.Exit(1)
+}

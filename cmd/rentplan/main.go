@@ -1,0 +1,175 @@
+// Command rentplan solves a resource rental planning instance from the
+// command line: a deterministic DRRP plan over a fixed horizon, or a
+// stochastic SRRP plan on a bid-adjusted scenario tree.
+//
+// Examples:
+//
+//	rentplan -model drrp -class m1.xlarge -horizon 24
+//	rentplan -model srrp -class c1.medium -stages 5 -bid 0.061 -days 60
+//	rentplan -spec instance.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"rentplan/internal/core"
+	"rentplan/internal/demand"
+	"rentplan/internal/market"
+	"rentplan/internal/scenario"
+	"rentplan/internal/spec"
+	"rentplan/internal/stats"
+)
+
+func main() {
+	var (
+		model      = flag.String("model", "drrp", "planning model: drrp or srrp")
+		class      = flag.String("class", "c1.medium", "VM class (c1.medium, m1.large, m1.xlarge, c1.xlarge)")
+		horizon    = flag.Int("horizon", 24, "DRRP planning horizon in hours")
+		demandMean = flag.Float64("demand-mean", 0.4, "hourly demand mean (GB)")
+		demandSD   = flag.Float64("demand-sd", 0.2, "hourly demand std dev (GB)")
+		seed       = flag.Int64("seed", 1, "random seed for demand and prices")
+		epsilon    = flag.Float64("epsilon", 0, "initial storage amount ε (GB)")
+		phi        = flag.Float64("phi", 0.5, "input-output ratio Φ")
+		stages     = flag.Int("stages", 5, "SRRP future stages")
+		branch     = flag.Int("branch", 4, "SRRP scenario-tree branch cap (0 = uncapped)")
+		bid        = flag.Float64("bid", 0, "SRRP bid price (0 = historical mean)")
+		days       = flag.Int("days", 60, "SRRP price history length in days")
+		jsonOut    = flag.Bool("json", false, "emit the plan as JSON")
+		specFile   = flag.String("spec", "", "solve a JSON instance file instead of using flags")
+	)
+	flag.Parse()
+
+	if *specFile != "" {
+		f, err := os.Open(*specFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		ins, err := spec.Parse(f)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := ins.Solve()
+		if err != nil {
+			fatal(err)
+		}
+		emitJSON(res)
+		return
+	}
+
+	par := core.DefaultParams(market.VMClass(*class))
+	par.Phi = *phi
+	par.Epsilon = *epsilon
+	if _, err := par.OnDemandRate(); err != nil {
+		fatal(err)
+	}
+	dem := demand.Series(demand.NewTruncNormal(*demandMean, *demandSD, *seed), maxInt(*horizon, *stages+1))
+
+	switch *model {
+	case "drrp":
+		lambda, _ := par.OnDemandRate()
+		prices := make([]float64, *horizon)
+		for t := range prices {
+			prices[t] = lambda
+		}
+		plan, err := core.SolveDRRP(par, prices, dem[:*horizon])
+		if err != nil {
+			fatal(err)
+		}
+		np, err := core.NoPlanCost(par, prices, dem[:*horizon])
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			emitJSON(map[string]interface{}{
+				"model": "drrp", "class": *class, "plan": plan, "noPlanCost": np.Cost,
+			})
+			return
+		}
+		fmt.Printf("DRRP plan for %s over %dh (ε=%.2f GB)\n", *class, *horizon, *epsilon)
+		fmt.Printf("%-4s %8s %8s %8s %6s\n", "slot", "demand", "alpha", "beta", "rent")
+		for t := 0; t < *horizon; t++ {
+			fmt.Printf("%-4d %8.3f %8.3f %8.3f %6v\n", t, dem[t], plan.Alpha[t], plan.Beta[t], plan.Chi[t])
+		}
+		fmt.Printf("\ntotal cost      : $%.3f\n", plan.Cost)
+		fmt.Printf("  compute       : $%.3f\n", plan.Breakdown.Compute)
+		fmt.Printf("  storage + I/O : $%.3f\n", plan.Breakdown.Holding)
+		fmt.Printf("  transfer      : $%.3f\n", plan.Breakdown.Transfer())
+		fmt.Printf("no-plan cost    : $%.3f  (saving %.1f%%)\n", np.Cost, 100*(1-plan.Cost/np.Cost))
+
+	case "srrp":
+		gen, err := market.NewGenerator(market.VMClass(*class), *seed)
+		if err != nil {
+			fatal(err)
+		}
+		tr := gen.Trace(*days)
+		hourly, err := tr.Hourly(0, *days*24)
+		if err != nil {
+			fatal(err)
+		}
+		base := stats.NewDiscreteFromSamples(hourly, 1e-3)
+		b := *bid
+		if b <= 0 {
+			b = base.Mean()
+		}
+		bids := make([]float64, *stages)
+		for i := range bids {
+			bids[i] = b
+		}
+		lambda, _ := par.OnDemandRate()
+		tree, err := scenario.Build(base, bids, lambda, scenario.BuildConfig{
+			Stages:    *stages,
+			MaxBranch: *branch,
+			RootPrice: hourly[len(hourly)-1],
+		})
+		if err != nil {
+			fatal(err)
+		}
+		plan, err := core.SolveSRRP(par, tree, dem[:*stages+1])
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			emitJSON(map[string]interface{}{
+				"model": "srrp", "class": *class, "bid": b,
+				"expectedCost": plan.ExpCost, "rootRent": plan.RootRent,
+				"rootAlpha": plan.RootAlpha, "treeVertices": tree.N(),
+			})
+			return
+		}
+		fmt.Printf("SRRP plan for %s: %d stages, bid $%.4f, tree %d vertices\n",
+			*class, *stages, b, tree.N())
+		for s := 1; s <= *stages; s++ {
+			fmt.Printf("  stage %d: E[price]=$%.4f  P(out-of-bid)=%.2f\n",
+				s, tree.ExpectedPrice(s), tree.OutOfBidProb(s))
+		}
+		fmt.Printf("expected cost   : $%.4f\n", plan.ExpCost)
+		fmt.Printf("here-and-now    : rent=%v generate=%.3f GB\n", plan.RootRent, plan.RootAlpha)
+
+	default:
+		fatal(fmt.Errorf("unknown model %q (want drrp or srrp)", *model))
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func emitJSON(v interface{}) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rentplan:", err)
+	os.Exit(1)
+}

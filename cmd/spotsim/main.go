@@ -1,0 +1,166 @@
+// Command spotsim generates and analyses synthetic spot-price traces from
+// the auction-driven market simulator.
+//
+// Examples:
+//
+//	spotsim -class c1.medium -days 120 -analyze summary
+//	spotsim -class m1.large -days 507 -analyze forecast
+//	spotsim -class c1.xlarge -days 90 -csv events > trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rentplan/internal/arima"
+	"rentplan/internal/market"
+	"rentplan/internal/stats"
+	"rentplan/internal/timeseries"
+)
+
+func main() {
+	var (
+		class   = flag.String("class", "c1.medium", "VM class")
+		days    = flag.Int("days", 120, "trace length in days")
+		seed    = flag.Int64("seed", market.ReferenceSeed, "generator seed")
+		analyze = flag.String("analyze", "summary", "analysis: summary, acf, decompose, forecast, none")
+		csv     = flag.String("csv", "", "emit CSV instead of analysis: events or hourly")
+		in      = flag.String("in", "", "read an hour,price CSV trace instead of generating one")
+	)
+	flag.Parse()
+
+	var tr *market.SpotTrace
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err = market.ReadTraceCSV(f, market.VMClass(*class))
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		*days = tr.Days
+	} else {
+		gen, err := market.NewGenerator(market.VMClass(*class), *seed)
+		if err != nil {
+			fatal(err)
+		}
+		tr = gen.Trace(*days)
+	}
+	hourly, err := tr.Hourly(0, *days*24)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *csv {
+	case "events":
+		fmt.Println("hour,price")
+		for _, e := range tr.Events.Events {
+			fmt.Printf("%.4f,%.4f\n", e.Hour, e.Value)
+		}
+		return
+	case "hourly":
+		fmt.Println("hour,price")
+		for t, v := range hourly {
+			fmt.Printf("%d,%.4f\n", t, v)
+		}
+		return
+	case "":
+	default:
+		fatal(fmt.Errorf("unknown csv mode %q", *csv))
+	}
+
+	switch *analyze {
+	case "none":
+	case "summary":
+		vals := tr.Events.Values()
+		f := stats.BoxWhisker(vals)
+		fmt.Printf("trace: %s, %d days, %d update events\n", *class, *days, len(vals))
+		fmt.Printf("five-number: min=%.4f q1=%.4f med=%.4f q3=%.4f max=%.4f\n",
+			f.Min, f.Q1, f.Median, f.Q3, f.Max)
+		fmt.Printf("outliers (1.5·IQR): %d (%.2f%%)\n", len(f.Outliers), 100*f.OutlierFrac())
+		counts := tr.Events.DailyUpdateCounts(0, *days)
+		mn, mx, sum := counts[0], counts[0], 0
+		for _, c := range counts {
+			if c < mn {
+				mn = c
+			}
+			if c > mx {
+				mx = c
+			}
+			sum += c
+		}
+		fmt.Printf("daily updates: min=%d max=%d mean=%.1f\n", mn, mx, float64(sum)/float64(len(counts)))
+		sw, err := stats.ShapiroWilk(capLen(hourly, 5000))
+		if err == nil {
+			fmt.Printf("Shapiro-Wilk on hourly series: W=%.4f p=%.3g\n", sw.Stat, sw.PValue)
+		}
+	case "acf":
+		acf, err := timeseries.ACF(hourly, 48)
+		if err != nil {
+			fatal(err)
+		}
+		pacf, err := timeseries.PACF(hourly, 48)
+		if err != nil {
+			fatal(err)
+		}
+		band := timeseries.ConfidenceBand(len(hourly))
+		fmt.Printf("95%% band = ±%.4f\n", band)
+		fmt.Println("lag,acf,pacf,significant")
+		for k := 1; k <= 48; k++ {
+			sig := ""
+			if acf[k] > band || acf[k] < -band {
+				sig = "*"
+			}
+			fmt.Printf("%d,%.4f,%.4f,%s\n", k, acf[k], pacf[k], sig)
+		}
+	case "decompose":
+		d, err := timeseries.Decompose(hourly, 24)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("seasonal strength=%.4f trend strength=%.4f\n",
+			d.SeasonalStrength(), d.TrendStrength())
+		fmt.Println("phase,seasonal")
+		for ph := 0; ph < 24; ph++ {
+			fmt.Printf("%d,%.6f\n", ph, d.Seasonal[ph])
+		}
+	case "forecast":
+		if len(hourly) < 26 {
+			fatal(fmt.Errorf("trace too short for forecasting"))
+		}
+		histLen := len(hourly) - 24
+		hist, actual := hourly[:histLen], hourly[histLen:]
+		m, err := arima.Fit(hist, arima.Spec{P: 2, Q: 1, SP: 2, Period: 24, WithMean: true})
+		if err != nil {
+			fatal(err)
+		}
+		fc, err := m.Forecast(24)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("model %s  AIC=%.1f\n", m.Spec, m.AIC)
+		fmt.Println("hour,predicted,lower95,upper95,actual")
+		for t := 0; t < 24; t++ {
+			fmt.Printf("%d,%.4f,%.4f,%.4f,%.4f\n", t, fc.Mean[t], fc.Lower[t], fc.Upper[t], actual[t])
+		}
+		fmt.Printf("MSPE(SARIMA)=%.3g MSPE(mean)=%.3g\n",
+			arima.MSPE(fc.Mean, actual), arima.MSPE(arima.MeanForecast(hist, 24), actual))
+	default:
+		fatal(fmt.Errorf("unknown analysis %q", *analyze))
+	}
+}
+
+func capLen(xs []float64, n int) []float64 {
+	if len(xs) > n {
+		return xs[:n]
+	}
+	return xs
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spotsim:", err)
+	os.Exit(1)
+}

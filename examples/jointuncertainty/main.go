@@ -1,0 +1,113 @@
+// Joint uncertainty: planning when both spot prices AND workload are
+// random — the paper's stated future-work direction, built on the same
+// scenario-tree machinery.
+//
+// The example builds trees whose stages branch over the product of
+// bid-adjusted price states and discrete demand states, solves the extended
+// SRRP exactly, verifies the expected cost by Monte Carlo, and reports the
+// Value of the Stochastic Solution (VSS): how much explicitly modelling the
+// price distribution saves over planning with expected prices.
+//
+// Run with: go run ./examples/jointuncertainty
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rentplan/internal/core"
+	"rentplan/internal/market"
+	"rentplan/internal/scenario"
+	"rentplan/internal/stats"
+)
+
+func main() {
+	const days = 60
+	gen, err := market.NewGenerator(market.C1Medium, 777)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace := gen.Trace(days)
+	hourly, err := trace.Hourly(0, days*24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := stats.NewDiscreteFromSamples(hourly, 1e-3)
+	par := core.DefaultParams(market.C1Medium)
+	lambda, err := par.OnDemandRate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	bid := stats.Quantile(hourly, 0.5)
+	bids := []float64{bid, bid, bid, bid}
+
+	// Demand is uncertain too: quiet, normal or busy hours.
+	demStates := stats.Discrete{
+		Values: []float64{0.15, 0.40, 0.90},
+		Probs:  []float64{0.25, 0.50, 0.25},
+	}
+	tree, dem, err := scenario.BuildJoint(base, bids, lambda, demStates, 0.4,
+		scenario.BuildConfig{Stages: 4, MaxBranch: 3, RootPrice: hourly[len(hourly)-1]})
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := core.SolveSRRPVertexDemands(par, tree, dem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("joint price×demand tree: %d vertices over %d stages\n", tree.N(), tree.Stages())
+	fmt.Printf("here-and-now: rent=%v, generate %.3f GB (demand now 0.40 GB)\n",
+		plan.RootRent, plan.RootAlpha)
+	fmt.Printf("expected cost: $%.4f (compute %.0f%%, storage+I/O %.0f%%, transfer %.0f%%)\n\n",
+		plan.ExpCost,
+		100*plan.Breakdown.Compute/plan.ExpCost,
+		100*plan.Breakdown.Holding/plan.ExpCost,
+		100*plan.Breakdown.Transfer()/plan.ExpCost)
+
+	// Sanity-check the optimum by Monte Carlo on a price-only tree (known
+	// stage demands), then quantify the value of stochastic planning.
+	priceTree, err := scenario.Build(base, bids, lambda, scenario.BuildConfig{
+		Stages: 4, MaxBranch: 3, RootPrice: hourly[len(hourly)-1]})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stageDem := []float64{0.4, 0.4, 0.4, 0.4, 0.4}
+	pplan, err := core.SolveSRRP(par, priceTree, stageDem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mc, se, err := core.EvaluateStochasticPlanMC(par, pplan, stageDem, stats.NewRNG(9), 50000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("price-only plan: expected cost $%.4f, Monte-Carlo $%.4f ± %.4f\n\n", pplan.ExpCost, mc, se)
+
+	// Value of the Stochastic Solution, in a regime where in-tree
+	// adaptivity matters: an expensive class (big λ − spot gap) with a
+	// moderate bid, so pre-producing in cheap states hedges the out-of-bid
+	// branches.
+	parX := core.DefaultParams(market.M1XLarge)
+	baseX := stats.Discrete{
+		Values: []float64{0.224, 0.232, 0.240, 0.248, 0.256},
+		Probs:  []float64{0.1, 0.2, 0.4, 0.2, 0.1},
+	}
+	lambdaX, _ := parX.OnDemandRate()
+	treeX, err := scenario.Build(baseX, []float64{0.232, 0.232, 0.232, 0.232, 0.232}, lambdaX,
+		scenario.BuildConfig{Stages: 5, MaxBranch: 4, RootPrice: 0.240})
+	if err != nil {
+		log.Fatal(err)
+	}
+	demX := []float64{0.4, 0.4, 0.4, 0.4, 0.4, 0.4}
+	vss, evCost, spCost, err := core.ValueOfStochasticSolution(parX, treeX, demX)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("VSS (m1.xlarge, bid at the 30%% quantile): $%.4f\n", vss)
+	fmt.Printf("  expected-value policy $%.4f vs SRRP $%.4f (%.1f%% saved in-tree)\n",
+		evCost, spCost, 100*vss/evCost)
+	fmt.Println("\nAn honest reproduction note: with known stage demands the in-tree VSS")
+	fmt.Println("is modest — inventory is a shared state, so most hedging happens before")
+	fmt.Println("prices are revealed. SRRP's large advantage in Fig. 12(a) comes from")
+	fmt.Println("re-planning each hour with the out-of-bid risk priced in (closed-loop),")
+	fmt.Println("which the rollinghorizon example demonstrates.")
+}

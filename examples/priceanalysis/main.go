@@ -1,0 +1,111 @@
+// Price analysis: the paper's Sec. IV-A predictability study end to end.
+//
+// The pipeline: generate a spot trace → flag box-whisker outliers → convert
+// the irregular update feed to an hourly series → check stationarity and
+// decompose seasonality → inspect ACF/PACF → fit a SARIMA model (small AIC
+// search) → produce a day-ahead forecast and compare its MSPE against the
+// naive mean forecast. The punchline matches the paper: the best
+// statistical prediction is only marginally better than the mean, which is
+// why SRRP plans with distributions instead of point forecasts.
+//
+// Run with: go run ./examples/priceanalysis
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rentplan/internal/arima"
+	"rentplan/internal/market"
+	"rentplan/internal/stats"
+	"rentplan/internal/timeseries"
+)
+
+func main() {
+	const days = 90
+	gen, err := market.NewGenerator(market.C1Medium, 31)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace := gen.Trace(days)
+
+	// Step 1: outliers in the raw update series (Fig. 3).
+	vals := trace.Events.Values()
+	five := stats.BoxWhisker(vals)
+	fmt.Printf("update events: %d, outliers: %d (%.2f%%)\n",
+		len(vals), len(five.Outliers), 100*five.OutlierFrac())
+	fmt.Printf("quartiles: q1=$%.4f med=$%.4f q3=$%.4f\n\n", five.Q1, five.Median, five.Q3)
+
+	// Step 2: irregular events → hourly series (Fig. 4's resampling).
+	hourly, err := trace.Hourly(0, days*24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts := trace.Events.DailyUpdateCounts(0, days)
+	mn, mx := counts[0], counts[0]
+	for _, c := range counts {
+		if c < mn {
+			mn = c
+		}
+		if c > mx {
+			mx = c
+		}
+	}
+	fmt.Printf("hourly series: %d points; daily update counts range %d..%d\n\n", len(hourly), mn, mx)
+
+	// Step 3: the estimation window and its distribution (Fig. 5).
+	histLen := len(hourly) - 24
+	hist, actual := hourly[:histLen], hourly[histLen:]
+	sw, err := stats.ShapiroWilk(hist[:min(len(hist), 5000)])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Shapiro-Wilk: W=%.4f p=%.3g → normality rejected: %v\n\n",
+		sw.Stat, sw.PValue, sw.Rejects(0.01))
+
+	// Step 4: stationarity and decomposition (Fig. 6).
+	fmt.Printf("weakly stationary: %v\n", timeseries.IsWeaklyStationary(stats.TrimOutliers(hist), 0.5))
+	dec, err := timeseries.Decompose(hist, 24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("seasonal strength: %.3f, trend strength: %.3f\n\n",
+		dec.SeasonalStrength(), dec.TrendStrength())
+
+	// Step 5: correlograms (Fig. 7).
+	acf, err := timeseries.ACF(hist, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	band := timeseries.ConfidenceBand(len(hist))
+	fmt.Printf("ACF lags 1..6: %.3f %.3f %.3f %.3f %.3f %.3f (band ±%.3f)\n\n",
+		acf[1], acf[2], acf[3], acf[4], acf[5], acf[6], band)
+
+	// Step 6: model selection and day-ahead forecast (Fig. 8). The small
+	// grid mirrors auto.arima's search within order constraints.
+	best, cands, err := arima.AutoFit(hist, arima.AutoOptions{
+		MaxP: 2, MaxQ: 1, WithMean: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best model by AIC: %s (AIC %.1f) out of %d candidates\n", best.Spec, best.AIC, len(cands))
+	fc, err := best.Forecast(24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mspeModel := arima.MSPE(fc.Mean, actual)
+	mspeMean := arima.MSPE(arima.MeanForecast(hist, 24), actual)
+	fmt.Printf("day-ahead MSPE: model=%.3g, mean-forecast=%.3g (improvement %.1f%%)\n",
+		mspeModel, mspeMean, 100*(1-mspeModel/mspeMean))
+	fmt.Println("\nConclusion (matches the paper): the fitted model barely beats the")
+	fmt.Println("historical mean — point forecasts cannot parameterise DRRP reliably,")
+	fmt.Println("motivating the stochastic SRRP formulation.")
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,3 @@
+module rentplan
+
+go 1.22

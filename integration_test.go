@@ -1,0 +1,148 @@
+package rentplan_test
+
+// End-to-end integration test: the full pipeline of the paper, from raw
+// market events to executed rental policies, crossing every major package
+// boundary in one scenario.
+
+import (
+	"math"
+	"testing"
+
+	"rentplan/internal/arima"
+	"rentplan/internal/core"
+	"rentplan/internal/demand"
+	"rentplan/internal/market"
+	"rentplan/internal/scenario"
+	"rentplan/internal/stats"
+	"rentplan/internal/timeseries"
+)
+
+func TestEndToEndPipeline(t *testing.T) {
+	// 1. Market: simulate 100 days of c1.medium spot updates.
+	gen, err := market.NewGenerator(market.C1Medium, 4242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := gen.Trace(100)
+
+	// 2. Price analysis (Sec. IV-A): outliers trivial, hourly series
+	//    non-normal, weakly autocorrelated, stationary.
+	five := stats.BoxWhisker(trace.Events.Values())
+	if five.OutlierFrac() > 0.05 {
+		t.Fatalf("outliers %.3f", five.OutlierFrac())
+	}
+	hourly, err := trace.Hourly(0, 100*24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	histLen := 99 * 24
+	hist, evalDay := hourly[:histLen], hourly[histLen:]
+	sw, err := stats.ShapiroWilk(hist[:2000])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sw.Rejects(0.01) {
+		t.Error("hourly series unexpectedly normal")
+	}
+	if !timeseries.IsWeaklyStationary(stats.TrimOutliers(hist), 0.5) {
+		t.Error("history not weakly stationary")
+	}
+
+	// 3. Forecasting: fit a compact model, check diagnostics, produce
+	//    day-ahead bids; they must be barely better than the mean forecast.
+	model, _, err := arima.AutoFit(hist, arima.AutoOptions{MaxP: 2, MaxQ: 1, WithMean: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := model.Forecast(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mspeModel := arima.MSPE(fc.Mean, evalDay)
+	mspeMean := arima.MSPE(arima.MeanForecast(hist, 24), evalDay)
+	if mspeModel > 4*mspeMean {
+		t.Errorf("model forecast catastrophically bad: %v vs %v", mspeModel, mspeMean)
+	}
+
+	// 4. Planning: DRRP on the on-demand market beats no-planning; SRRP on
+	//    a bid-adjusted tree produces an implementable root decision.
+	par := core.DefaultParams(market.C1Medium)
+	dem := demand.Series(demand.NewTruncNormal(0.4, 0.2, 11), 24)
+	lambda, err := par.OnDemandRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	odPrices := make([]float64, 24)
+	for i := range odPrices {
+		odPrices[i] = lambda
+	}
+	drrp, err := core.SolveDRRP(par, odPrices, dem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noplan, err := core.NoPlanCost(par, odPrices, dem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drrp.Cost >= noplan.Cost {
+		t.Errorf("DRRP %v did not beat no-plan %v", drrp.Cost, noplan.Cost)
+	}
+	base := stats.NewDiscreteFromSamples(hist, 1e-3)
+	tree, err := scenario.Build(base, fc.Mean[1:6], lambda, scenario.BuildConfig{
+		Stages: 5, MaxBranch: 4, RootPrice: evalDay[0],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srrp, err := core.SolveSRRP(par, tree, dem[:6])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srrp.ExpCost <= 0 {
+		t.Fatalf("SRRP cost %v", srrp.ExpCost)
+	}
+
+	// 5. Execution (Fig. 12 semantics): oracle ≤ sto ≤ det and on-demand
+	//    never beats the oracle on the realised day.
+	cfg := &core.ExecConfig{
+		Par:        par,
+		Actual:     evalDay,
+		Demand:     dem,
+		Base:       base,
+		TreeStages: 5,
+		MaxBranch:  4,
+	}
+	oracle, err := core.RunOracle(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sto, err := core.RunStochastic(cfg, fc.Mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := core.RunDeterministic(cfg, fc.Mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	od, err := core.RunOnDemand(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, o := range map[string]*core.Outcome{"sto": sto, "det": det, "on-demand": od} {
+		if o.Cost < oracle.Cost-1e-9 {
+			t.Errorf("%s (%v) beat the oracle (%v)", name, o.Cost, oracle.Cost)
+		}
+	}
+	if sto.Cost > od.Cost {
+		t.Errorf("stochastic policy (%v) lost to on-demand (%v) on this window", sto.Cost, od.Cost)
+	}
+
+	// 6. The exact SRRP optimum is internally consistent with Monte Carlo.
+	mc, se, err := core.EvaluateStochasticPlanMC(par, srrp, dem[:6], stats.NewRNG(3), 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mc-srrp.ExpCost) > 4*se+1e-9 {
+		t.Errorf("Monte Carlo %v ± %v vs exact %v", mc, se, srrp.ExpCost)
+	}
+}

@@ -1,0 +1,87 @@
+package arima
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Criterion selects the information criterion for order search.
+type Criterion int8
+
+const (
+	// AIC is the Akaike information criterion.
+	AIC Criterion = iota
+	// BIC is the Bayesian information criterion.
+	BIC
+)
+
+// AutoOptions bounds the order search performed by AutoFit, mirroring R's
+// auto.arima "search over possible models within the order constraints".
+type AutoOptions struct {
+	MaxP, MaxQ   int // nonseasonal bounds (inclusive)
+	MaxSP, MaxSQ int // seasonal bounds (inclusive)
+	D, SD        int // fixed differencing orders
+	Period       int // seasonal period; 0 disables the seasonal search
+	IC           Criterion
+	WithMean     bool
+}
+
+// Candidate pairs a spec with its achieved criterion value.
+type Candidate struct {
+	Spec  Spec
+	Score float64
+	Err   error
+}
+
+// AutoFit fits every spec in the grid and returns the model with the best
+// (lowest) information criterion, plus the scored candidate list sorted
+// best-first.
+func AutoFit(xs []float64, opts AutoOptions) (*Model, []Candidate, error) {
+	if opts.MaxP < 0 || opts.MaxQ < 0 || opts.MaxSP < 0 || opts.MaxSQ < 0 {
+		return nil, nil, errors.New("arima: negative search bound")
+	}
+	maxSP, maxSQ := opts.MaxSP, opts.MaxSQ
+	if opts.Period < 2 {
+		maxSP, maxSQ = 0, 0
+	}
+	var best *Model
+	bestScore := math.Inf(1)
+	var cands []Candidate
+	for p := 0; p <= opts.MaxP; p++ {
+		for q := 0; q <= opts.MaxQ; q++ {
+			for sp := 0; sp <= maxSP; sp++ {
+				for sq := 0; sq <= maxSQ; sq++ {
+					spec := Spec{
+						P: p, D: opts.D, Q: q,
+						SP: sp, SD: opts.SD, SQ: sq,
+						Period:   opts.Period,
+						WithMean: opts.WithMean,
+					}
+					if spec.nParams() == 0 {
+						continue // nothing to estimate
+					}
+					m, err := Fit(xs, spec)
+					if err != nil {
+						cands = append(cands, Candidate{Spec: spec, Score: math.Inf(1), Err: err})
+						continue
+					}
+					score := m.AIC
+					if opts.IC == BIC {
+						score = m.BIC
+					}
+					cands = append(cands, Candidate{Spec: spec, Score: score})
+					if score < bestScore {
+						best, bestScore = m, score
+					}
+				}
+			}
+		}
+	}
+	if best == nil {
+		return nil, cands, fmt.Errorf("arima: no model in the grid could be fitted")
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Score < cands[j].Score })
+	return best, cands, nil
+}

@@ -1,0 +1,23 @@
+package arima_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rentplan/internal/arima"
+)
+
+// ExampleFit estimates an AR(1) model and forecasts two steps ahead.
+func ExampleFit() {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1200)
+	for i := 1; i < len(xs); i++ {
+		xs[i] = 0.7*xs[i-1] + rng.NormFloat64()
+	}
+	m, err := arima.Fit(xs[200:], arima.Spec{P: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("phi ≈ %.1f\n", m.AR[0])
+	// Output: phi ≈ 0.7
+}

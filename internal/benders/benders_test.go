@@ -1,0 +1,235 @@
+package benders
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rentplan/internal/lp"
+)
+
+// newsvendor builds a classic two-stage instance: order x at unit cost c;
+// demand d_k realises with probability p_k; unmet demand is bought at
+// penalty price g > c, leftovers are salvaged at value s < c (negative
+// recourse cost). Closed form optimum: order the critical quantile.
+func newsvendor(c, g, s float64, dems, probs []float64) *Problem {
+	p := &Problem{
+		C:     []float64{c},
+		Lower: []float64{0},
+		Upper: []float64{1e6},
+	}
+	for k := range dems {
+		// y = (shortage z, leftover w): z ≥ d − x, w ≥ x − d; cost g·z − s·w?
+		// Salvage reduces cost, so coefficient −s on w with w ≤ x − d + z …
+		// keep it simple and exact: z − w = d − x, z,w ≥ 0; cost g·z − s·w
+		// is minimised by the positive parts as long as g > −(−s), i.e.
+		// g + s > 0.
+		p.Scenarios = append(p.Scenarios, Scenario{
+			Prob: probs[k],
+			Q:    []float64{g, -s},
+			W:    [][]float64{{1, -1}},
+			Rel:  []lp.Rel{lp.EQ},
+			H:    []float64{dems[k]},
+			T:    [][]float64{{1}},
+		})
+	}
+	return p
+}
+
+func solveExtensive(t *testing.T, p *Problem) float64 {
+	t.Helper()
+	ext, err := ExtensiveForm(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := lp.Solve(ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.StatusOptimal {
+		t.Fatalf("extensive form status %v", sol.Status)
+	}
+	return sol.Obj
+}
+
+func TestNewsvendorMatchesExtensiveForm(t *testing.T) {
+	p := newsvendor(1.0, 3.0, 0.25, []float64{2, 5, 9}, []float64{0.3, 0.4, 0.3})
+	want := solveExtensive(t, p)
+	for _, multi := range []bool{false, true} {
+		res, err := Solve(p, Options{MultiCut: multi})
+		if err != nil {
+			t.Fatalf("multi=%v: %v", multi, err)
+		}
+		if !res.Converged {
+			t.Fatalf("multi=%v: did not converge (%d iters)", multi, res.Iterations)
+		}
+		if math.Abs(res.Obj-want) > 1e-5 {
+			t.Fatalf("multi=%v: obj %v, extensive %v", multi, res.Obj, want)
+		}
+		if res.OptCuts == 0 {
+			t.Fatalf("multi=%v: no optimality cuts added", multi)
+		}
+	}
+}
+
+func TestNewsvendorCriticalQuantile(t *testing.T) {
+	// g=3, c=1, s=0: critical ratio = (g−c)/(g−s) = 2/3 → order the demand
+	// at the 2/3 quantile of {2 (p .3), 5 (p .4), 9 (p .3)} → 5.
+	p := newsvendor(1.0, 3.0, 0.0, []float64{2, 5, 9}, []float64{0.3, 0.4, 0.3})
+	res, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-5) > 1e-5 {
+		t.Fatalf("order quantity %v, want 5", res.X[0])
+	}
+}
+
+func TestFeasibilityCuts(t *testing.T) {
+	// Second stage REQUIRES y ≥ 0 with y ≤ x − d_k (so x must be at least
+	// max d_k): scenarios with pure feasibility coupling.
+	p := &Problem{
+		C:     []float64{1},
+		Lower: []float64{0},
+		Upper: []float64{100},
+	}
+	for _, d := range []float64{3, 7, 5} {
+		p.Scenarios = append(p.Scenarios, Scenario{
+			Prob: 1.0 / 3,
+			Q:    []float64{0.1},
+			// Row reads T·x + W·y ≥ H: x − y ≥ d, i.e. y ≤ x − d, which with
+			// y ≥ 0 requires x ≥ d in every scenario.
+			W:   [][]float64{{-1}},
+			Rel: []lp.Rel{lp.GE},
+			H:   []float64{d},
+			T:   [][]float64{{1}},
+		})
+	}
+	res, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if res.FeasCuts == 0 {
+		t.Fatal("expected feasibility cuts")
+	}
+	if res.X[0] < 7-1e-6 {
+		t.Fatalf("x = %v, want ≥ 7", res.X[0])
+	}
+	want := solveExtensive(t, p)
+	if math.Abs(res.Obj-want) > 1e-5 {
+		t.Fatalf("obj %v, extensive %v", res.Obj, want)
+	}
+}
+
+func TestRandomTwoStageVsExtensive(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(3)  // first-stage vars
+		ny := 1 + rng.Intn(3) // second-stage vars
+		K := 2 + rng.Intn(4)  // scenarios
+		p := &Problem{
+			C:     make([]float64, n),
+			Lower: make([]float64, n),
+			Upper: make([]float64, n),
+		}
+		for j := 0; j < n; j++ {
+			p.C[j] = rng.Float64() * 2
+			p.Upper[j] = 5
+		}
+		probs := make([]float64, K)
+		total := 0.0
+		for k := range probs {
+			probs[k] = 0.1 + rng.Float64()
+			total += probs[k]
+		}
+		for k := 0; k < K; k++ {
+			m2 := 1 + rng.Intn(2)
+			sc := Scenario{Prob: probs[k] / total, Q: make([]float64, ny)}
+			for j := 0; j < ny; j++ {
+				sc.Q[j] = 0.2 + rng.Float64()*2 // positive: recourse bounded
+			}
+			for i := 0; i < m2; i++ {
+				wr := make([]float64, ny)
+				tr := make([]float64, n)
+				for j := range wr {
+					wr[j] = 0.2 + rng.Float64() // positive W: always feasible (GE rows)
+				}
+				for j := range tr {
+					tr[j] = rng.Float64()
+				}
+				sc.W = append(sc.W, wr)
+				sc.T = append(sc.T, tr)
+				sc.Rel = append(sc.Rel, lp.GE)
+				sc.H = append(sc.H, rng.Float64()*4)
+			}
+			p.Scenarios = append(p.Scenarios, sc)
+		}
+		want := solveExtensive(t, p)
+		for _, multi := range []bool{false, true} {
+			res, err := Solve(p, Options{MultiCut: multi})
+			if err != nil {
+				t.Fatalf("trial %d multi=%v: %v", trial, multi, err)
+			}
+			if !res.Converged {
+				t.Fatalf("trial %d multi=%v: no convergence", trial, multi)
+			}
+			if math.Abs(res.Obj-want) > 1e-4*(1+math.Abs(want)) {
+				t.Fatalf("trial %d multi=%v: obj %v, extensive %v", trial, multi, res.Obj, want)
+			}
+		}
+	}
+}
+
+func TestMultiCutConvergesInFewerIterations(t *testing.T) {
+	p := newsvendor(1.0, 3.0, 0.25, []float64{1, 2, 4, 6, 9, 12}, []float64{0.1, 0.2, 0.2, 0.2, 0.2, 0.1})
+	single, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := Solve(p, Options{MultiCut: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Iterations > single.Iterations {
+		t.Fatalf("multi-cut used more iterations (%d) than single (%d)", multi.Iterations, single.Iterations)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []*Problem{
+		{},
+		{C: []float64{1}},
+		{C: []float64{1}, Scenarios: []Scenario{{Prob: 0.5, Q: []float64{1}, W: [][]float64{{1}}, Rel: []lp.Rel{lp.GE}, H: []float64{1}, T: [][]float64{{1}}}}},  // prob mass 0.5
+		{C: []float64{1}, Scenarios: []Scenario{{Prob: 1, Q: []float64{1}, W: [][]float64{{1, 2}}, Rel: []lp.Rel{lp.GE}, H: []float64{1}, T: [][]float64{{1}}}}}, // W width
+	}
+	for i, p := range bad {
+		if _, err := Solve(p, Options{}); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+		if _, err := ExtensiveForm(p); err == nil {
+			t.Errorf("case %d: extensive form should also reject", i)
+		}
+	}
+}
+
+func TestUnboundedRecourseDetected(t *testing.T) {
+	p := &Problem{
+		C:     []float64{1},
+		Upper: []float64{10},
+		Lower: []float64{0},
+		Scenarios: []Scenario{{
+			Prob: 1,
+			Q:    []float64{-1}, // pays you to grow y, unbounded
+			W:    [][]float64{{1}},
+			Rel:  []lp.Rel{lp.GE},
+			H:    []float64{0},
+			T:    [][]float64{{0}},
+		}},
+	}
+	if _, err := Solve(p, Options{}); err == nil {
+		t.Fatal("want unbounded-recourse error")
+	}
+}

@@ -1,0 +1,34 @@
+package benders_test
+
+import (
+	"fmt"
+
+	"rentplan/internal/benders"
+	"rentplan/internal/lp"
+)
+
+// ExampleSolve runs the L-shaped method on a two-scenario newsvendor:
+// order x now at cost 1; shortages cost 3 per unit later.
+func ExampleSolve() {
+	p := &benders.Problem{
+		C:     []float64{1},
+		Lower: []float64{0},
+		Upper: []float64{100},
+	}
+	for _, d := range []float64{4, 10} {
+		p.Scenarios = append(p.Scenarios, benders.Scenario{
+			Prob: 0.5,
+			Q:    []float64{3, 0},      // shortage penalty, free leftover
+			W:    [][]float64{{1, -1}}, // z − w = d − x
+			Rel:  []lp.Rel{lp.EQ},
+			H:    []float64{d},
+			T:    [][]float64{{1}},
+		})
+	}
+	res, err := benders.Solve(p, benders.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("order %.0f units, total cost %.0f\n", res.X[0], res.Obj)
+	// Output: order 10 units, total cost 10
+}

@@ -1,0 +1,236 @@
+package benders
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rentplan/internal/lotsize"
+	"rentplan/internal/lp"
+)
+
+// NestedOptions tunes the multistage nested L-shaped solver.
+type NestedOptions struct {
+	// MaxIter bounds forward/backward sweeps; ≤0 selects 200.
+	MaxIter int
+	// Tol is the relative gap closing the root bound; ≤0 selects 1e-7.
+	Tol float64
+}
+
+func (o NestedOptions) withDefaults() NestedOptions {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 200
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-7
+	}
+	return o
+}
+
+// NestedResult is the outcome of a nested L-shaped solve.
+type NestedResult struct {
+	// Bound is the proven lower bound (root master objective); Cost is the
+	// expected cost of the implementable policy from the last forward pass
+	// (an upper bound). At convergence they agree to within Tol.
+	Bound, Cost float64
+	// RootAlpha, RootBeta, RootChi are the first-stage decisions.
+	RootAlpha, RootBeta, RootChi float64
+	Iterations, Cuts             int
+	Converged                    bool
+}
+
+// SolveTreeLP solves the LP relaxation (χ ∈ [0,1]) of a stochastic
+// lot-sizing scenario tree by the nested L-shaped method of Birge — the
+// multistage decomposition the paper cites for SRRP ([28]). Each vertex
+// keeps a small local LP over (α, β, χ, θ) where θ under-approximates the
+// children's expected cost-to-go as a function of the outgoing inventory β;
+// forward passes propagate trial inventories, backward passes return
+// supporting cuts from the children's LP duals.
+//
+// The result's Bound equals the LP relaxation optimum of the deterministic
+// equivalent at convergence (verified against the extensive form in tests)
+// and is a valid lower bound on the integer SRRP optimum.
+func SolveTreeLP(tp *lotsize.TreeProblem, opts NestedOptions) (*NestedResult, error) {
+	if tp == nil {
+		return nil, errors.New("benders: nil tree problem")
+	}
+	if err := validateTree(tp); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	n := tp.N()
+	children := make([][]int, n)
+	for v := 1; v < n; v++ {
+		children[tp.Parent[v]] = append(children[tp.Parent[v]], v)
+	}
+	// Remaining path demand bounds α and β (cf. the tightened MILP).
+	maxRemain := make([]float64, n)
+	for v := n - 1; v >= 0; v-- {
+		m := 0.0
+		for _, c := range children[v] {
+			if maxRemain[c] > m {
+				m = maxRemain[c]
+			}
+		}
+		maxRemain[v] = tp.Demand[v] + m
+	}
+
+	// cuts[v] approximates G_v(β) = Σ_c Q_c(β): each cut is θ ≥ a·β + r.
+	type cut struct{ a, r float64 }
+	cuts := make([][]cut, n)
+	thetaLB := -1e-6 // all costs are nonnegative, so 0 is a valid floor
+	hasChildren := func(v int) bool { return len(children[v]) > 0 }
+
+	// solveVertex builds and solves the local LP at v for incoming
+	// inventory b. Variables: [α, β, χ, θ]. Returns the solution, the
+	// objective, and the dual of the balance row (dObj/dD, so dObj/db is
+	// its negation).
+	solveVertex := func(v int, b float64) (alpha, beta, chi, theta, obj, lambda float64, err error) {
+		nv := 3
+		if hasChildren(v) {
+			nv = 4
+		}
+		prob := &lp.Problem{
+			C:     make([]float64, nv),
+			Lower: make([]float64, nv),
+			Upper: make([]float64, nv),
+		}
+		pv := tp.Prob[v]
+		prob.C[0] = pv * tp.Unit[v]
+		prob.C[1] = pv * tp.Hold[v]
+		prob.C[2] = pv * tp.Setup[v]
+		prob.Upper[0] = maxRemain[v] + 1
+		prob.Upper[1] = math.Inf(1) // large ε can push β past the demand bound
+		prob.Upper[2] = 1
+		if nv == 4 {
+			prob.C[3] = 1
+			prob.Lower[3] = thetaLB
+			prob.Upper[3] = math.Inf(1)
+		}
+		// Balance: α − β = D_v − b.
+		row := make([]float64, nv)
+		row[0], row[1] = 1, -1
+		prob.A = append(prob.A, row)
+		prob.Rel = append(prob.Rel, lp.EQ)
+		prob.B = append(prob.B, tp.Demand[v]-b)
+		// Forcing: α − Bα·χ ≤ 0 with the tight per-vertex bound.
+		rowF := make([]float64, nv)
+		rowF[0], rowF[2] = 1, -maxRemain[v]
+		prob.A = append(prob.A, rowF)
+		prob.Rel = append(prob.Rel, lp.LE)
+		prob.B = append(prob.B, 0)
+		// Valid inequality α − β ≤ D·χ (production serves the current
+		// demand or enters stock), tightening the relaxation.
+		rowV := make([]float64, nv)
+		rowV[0], rowV[1], rowV[2] = 1, -1, -tp.Demand[v]
+		prob.A = append(prob.A, rowV)
+		prob.Rel = append(prob.Rel, lp.LE)
+		prob.B = append(prob.B, 0)
+		// Cuts: θ − a·β ≥ r.
+		if nv == 4 {
+			for _, ct := range cuts[v] {
+				rowC := make([]float64, nv)
+				rowC[1], rowC[3] = -ct.a, 1
+				prob.A = append(prob.A, rowC)
+				prob.Rel = append(prob.Rel, lp.GE)
+				prob.B = append(prob.B, ct.r)
+			}
+		}
+		sol, err := lp.Solve(prob)
+		if err != nil {
+			return 0, 0, 0, 0, 0, 0, err
+		}
+		if sol.Status != lp.StatusOptimal {
+			return 0, 0, 0, 0, 0, 0, fmt.Errorf("benders: vertex %d LP %v (b=%g)", v, sol.Status, b)
+		}
+		alpha, beta, chi = sol.X[0], sol.X[1], sol.X[2]
+		if nv == 4 {
+			theta = sol.X[3]
+		}
+		return alpha, beta, chi, theta, sol.Obj, sol.Duals[0], nil
+	}
+
+	res := &NestedResult{}
+	inB := make([]float64, n)    // incoming inventory per vertex (forward pass)
+	outB := make([]float64, n)   // chosen β per vertex
+	localC := make([]float64, n) // local (probability-weighted) stage cost
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		res.Iterations++
+		// Forward pass in topological order.
+		var rootObj float64
+		for v := 0; v < n; v++ {
+			if v == 0 {
+				inB[0] = tp.InitialInventory
+			} else {
+				inB[v] = outB[tp.Parent[v]]
+			}
+			alpha, beta, chi, theta, obj, _, err := solveVertex(v, inB[v])
+			if err != nil {
+				return nil, err
+			}
+			outB[v] = beta
+			localC[v] = obj - theta
+			if v == 0 {
+				rootObj = obj
+				res.RootAlpha, res.RootBeta, res.RootChi = alpha, beta, chi
+			}
+		}
+		res.Bound = rootObj
+		// Exact cost of the implementable forward policy (upper bound).
+		total := 0.0
+		for v := 0; v < n; v++ {
+			total += localC[v]
+		}
+		res.Cost = total
+		if total-rootObj <= opts.Tol*(1+math.Abs(total)) {
+			res.Converged = true
+			return res, nil
+		}
+		// Backward pass: leaves upward, adding one aggregated cut per
+		// non-leaf vertex at its trial β.
+		for v := n - 1; v >= 0; v-- {
+			if !hasChildren(v) {
+				continue
+			}
+			b := outB[v]
+			var slope, value float64
+			for _, c := range children[v] {
+				_, _, _, _, objC, lamC, err := solveVertex(c, b)
+				if err != nil {
+					return nil, err
+				}
+				// Q_c(b') ≥ Q_c(b) − λ_c (b' − b): rhs dual is dObj/dD and
+				// b enters as −D.
+				value += objC
+				slope += -lamC
+			}
+			// θ ≥ slope·β + (value − slope·b).
+			cuts[v] = append(cuts[v], cut{a: slope, r: value - slope*b})
+			res.Cuts++
+		}
+	}
+	return res, nil
+}
+
+func validateTree(tp *lotsize.TreeProblem) error {
+	n := tp.N()
+	if n == 0 {
+		return errors.New("benders: empty tree")
+	}
+	if len(tp.Prob) != n || len(tp.Setup) != n || len(tp.Unit) != n ||
+		len(tp.Hold) != n || len(tp.Demand) != n {
+		return errors.New("benders: tree slice mismatch")
+	}
+	if tp.Parent[0] != -1 {
+		return errors.New("benders: vertex 0 must be the root")
+	}
+	for v := 1; v < n; v++ {
+		if tp.Parent[v] < 0 || tp.Parent[v] >= v {
+			return fmt.Errorf("benders: vertex %d parent %d not topological", v, tp.Parent[v])
+		}
+	}
+	if tp.InitialInventory < 0 {
+		return errors.New("benders: negative initial inventory")
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rentplan/internal/lp"
+	"rentplan/internal/mip"
+)
+
+// This file implements cut-and-branch for DRRP using the classic (l,S)
+// valid inequalities of uncapacitated lot-sizing — the cutting planes
+// behind the branch-and-cut approach the paper cites for stochastic
+// lot-sizing (Guan, Ahmed, Nemhauser & Miller, reference [27]).
+//
+// For every l ∈ {1..T} and S ⊆ {1..l}, feasibility of the demand through
+// slot l implies
+//
+//	Σ_{t∈S} α_t + Σ_{t∈{1..l}\S} D(t,l)·χ_t ≥ D(1,l),
+//
+// where D(t,l) is the cumulative (ε-netted) demand of slots t..l. Exact
+// separation is trivial: for a fractional point, the most violated S picks
+// every t with α*_t < D(t,l)·χ*_t.
+
+// CutStats reports the cut-and-branch work.
+type CutStats struct {
+	// Rounds is the number of separation rounds at the root; CutsAdded the
+	// total (l,S) inequalities appended.
+	Rounds, CutsAdded int
+	// RootLPBefore and RootLPAfter are the root relaxation values before
+	// and after cutting (AFTER ≥ BEFORE; equal when no cut was violated).
+	RootLPBefore, RootLPAfter float64
+	// Nodes is the branch-and-bound node count on the strengthened model.
+	Nodes int
+}
+
+// SolveDRRPCutAndBranch solves the (possibly capacitated) DRRP MILP by
+// cut-and-branch: exact (l,S) separation strengthens the root relaxation,
+// then branch-and-bound finishes on the tightened model. The optimum is
+// identical to SolveDRRP's; the point is the root-gap and node-count
+// reduction measured by the ablation benchmarks.
+func SolveDRRPCutAndBranch(par Params, prices, dem []float64) (*Plan, *CutStats, error) {
+	prob, ix, err := BuildDRRPMILP(par, prices, dem)
+	if err != nil {
+		return nil, nil, err
+	}
+	T := len(dem)
+	// Netted cumulative demands D(t,l) under the initial inventory ε.
+	net := make([]float64, T)
+	cum := 0.0
+	for t := 0; t < T; t++ {
+		cum += dem[t]
+		net[t] = math.Min(dem[t], math.Max(0, cum-par.Epsilon))
+	}
+	cumNet := make([]float64, T+1)
+	for t := 0; t < T; t++ {
+		cumNet[t+1] = cumNet[t] + net[t]
+	}
+	dtl := func(t, l int) float64 { return cumNet[l+1] - cumNet[t] } // slots t..l
+
+	stats := &CutStats{}
+	const maxRounds = 30
+	const violTol = 1e-7
+	for round := 0; round < maxRounds; round++ {
+		rel, err := lp.Solve(prob.LP)
+		if err != nil {
+			return nil, nil, err
+		}
+		if rel.Status == lp.StatusInfeasible {
+			return nil, nil, errors.New("core: DRRP infeasible (capacity too tight for demand)")
+		}
+		if rel.Status != lp.StatusOptimal {
+			return nil, nil, fmt.Errorf("core: root relaxation status %v", rel.Status)
+		}
+		if round == 0 {
+			stats.RootLPBefore = rel.Obj
+		}
+		stats.RootLPAfter = rel.Obj
+		stats.Rounds++
+		added := 0
+		for l := 0; l < T; l++ {
+			if dtl(0, l) <= violTol {
+				continue
+			}
+			// Most violated S for this l, and the achieved LHS.
+			lhs := 0.0
+			inS := make([]bool, l+1)
+			for t := 0; t <= l; t++ {
+				av := rel.X[ix.Alpha(t)]
+				cv := dtl(t, l) * rel.X[ix.Chi(t)]
+				if av <= cv {
+					inS[t] = true
+					lhs += av
+				} else {
+					lhs += cv
+				}
+			}
+			if lhs >= dtl(0, l)-violTol*(1+dtl(0, l)) {
+				continue
+			}
+			// Append the violated inequality.
+			row := make([]float64, len(prob.LP.C))
+			for t := 0; t <= l; t++ {
+				if inS[t] {
+					row[ix.Alpha(t)] = 1
+				} else {
+					row[ix.Chi(t)] = dtl(t, l)
+				}
+			}
+			prob.LP.A = append(prob.LP.A, row)
+			prob.LP.Rel = append(prob.LP.Rel, lp.GE)
+			prob.LP.B = append(prob.LP.B, dtl(0, l))
+			added++
+		}
+		stats.CutsAdded += added
+		if added == 0 {
+			break
+		}
+	}
+	// Branch and bound on the strengthened model.
+	sol, err := mip.Solve(prob)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch sol.Status {
+	case mip.StatusOptimal, mip.StatusFeasible:
+	case mip.StatusInfeasible:
+		return nil, nil, errors.New("core: DRRP infeasible (capacity too tight for demand)")
+	default:
+		return nil, nil, fmt.Errorf("core: cut-and-branch stopped with status %v", sol.Status)
+	}
+	stats.Nodes = sol.Nodes
+	alpha := make([]float64, T)
+	beta := make([]float64, T)
+	chi := make([]bool, T)
+	for t := 0; t < T; t++ {
+		alpha[t] = sol.X[ix.Alpha(t)]
+		beta[t] = sol.X[ix.Beta(t)]
+		chi[t] = sol.X[ix.Chi(t)] > 0.5
+	}
+	return assemblePlan(par, prices, dem, alpha, beta, chi), stats, nil
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"rentplan/internal/market"
+	"rentplan/internal/mip"
+)
+
+func TestCutAndBranchMatchesDP(t *testing.T) {
+	par, prices, dem := drrpFixture(market.M1Large, 16, 4)
+	want, err := SolveDRRP(par, prices, dem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := SolveDRRPCutAndBranch(par, prices, dem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Cost-want.Cost) > 1e-5 {
+		t.Fatalf("cut-and-branch %v != DP %v", got.Cost, want.Cost)
+	}
+	// The (l,S) closure of uncapacitated lot-sizing describes the convex
+	// hull: the root gap must close substantially.
+	if stats.RootLPAfter < stats.RootLPBefore-1e-9 {
+		t.Fatalf("cutting weakened the root: %v -> %v", stats.RootLPBefore, stats.RootLPAfter)
+	}
+	if stats.CutsAdded == 0 {
+		t.Fatal("no cuts separated on a fractional root")
+	}
+	transferOut := 0.0
+	for _, d := range dem {
+		transferOut += par.Pricing.TransferOutPerGB * d
+	}
+	gap := (want.Cost - transferOut) - stats.RootLPAfter
+	if gap > 0.01*(want.Cost-transferOut) {
+		t.Fatalf("root gap after cutting still %v (optimum %v)", gap, want.Cost-transferOut)
+	}
+}
+
+func TestCutAndBranchEpsilonNetting(t *testing.T) {
+	par := DefaultParams(market.C1Medium)
+	par.Epsilon = 0.9
+	prices := constants(8, 0.2)
+	dem := []float64{0.4, 0.4, 0.4, 0.4, 0.4, 0.4, 0.4, 0.4}
+	want, err := SolveDRRP(par, prices, dem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := SolveDRRPCutAndBranch(par, prices, dem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Cost-want.Cost) > 1e-5 {
+		t.Fatalf("with ε: cut-and-branch %v != DP %v", got.Cost, want.Cost)
+	}
+}
+
+func TestCutAndBranchCapacitatedReducesNodes(t *testing.T) {
+	par := DefaultParams(market.M1Large)
+	par.ConsumptionRate = 1
+	par.Capacity = constants(14, 1.0)
+	lambda, _ := par.OnDemandRate()
+	prices := constants(14, lambda)
+	dem := drrpFixtureDemand(14, 6)
+
+	plain, err := SolveDRRP(par, prices, dem) // MILP path (capacitated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, stats, err := SolveDRRPCutAndBranch(par, prices, dem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cb.Cost-plain.Cost) > 1e-5 {
+		t.Fatalf("capacitated: cut-and-branch %v != MILP %v", cb.Cost, plain.Cost)
+	}
+	// Node-count comparison against plain B&B on the uncut model.
+	prob, _, err := BuildDRRPMILP(par, prices, dem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainSol, err := mip.Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Nodes > plainSol.Nodes {
+		t.Fatalf("cuts increased node count: %d (cut) vs %d (plain)", stats.Nodes, plainSol.Nodes)
+	}
+	// Capacity respected.
+	for tt, a := range cb.Alpha {
+		if a > 1.0+1e-6 {
+			t.Fatalf("capacity violated at %d: %v", tt, a)
+		}
+	}
+}
+
+func drrpFixtureDemand(T int, seed int64) []float64 {
+	_, _, dem := drrpFixture(market.M1Large, T, seed)
+	return dem
+}
+
+func TestCutAndBranchInfeasibleCapacity(t *testing.T) {
+	par := DefaultParams(market.C1Medium)
+	par.ConsumptionRate = 1
+	par.Capacity = constants(6, 0.1)
+	prices := constants(6, 0.2)
+	dem := []float64{0.4, 0.4, 0.4, 0.4, 0.4, 0.4}
+	if _, _, err := SolveDRRPCutAndBranch(par, prices, dem); err == nil {
+		t.Fatal("want infeasibility error")
+	}
+}
+
+func TestCutAndBranchBadInput(t *testing.T) {
+	par := DefaultParams(market.C1Medium)
+	if _, _, err := SolveDRRPCutAndBranch(par, []float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("want dimension error")
+	}
+}

@@ -1,0 +1,66 @@
+package core_test
+
+import (
+	"fmt"
+
+	"rentplan/internal/core"
+	"rentplan/internal/market"
+	"rentplan/internal/scenario"
+	"rentplan/internal/stats"
+)
+
+// ExampleSolveDRRP plans one c1.medium instance over six hours on the
+// on-demand market: the optimal plan batches generation instead of renting
+// every hour.
+func ExampleSolveDRRP() {
+	par := core.DefaultParams(market.C1Medium)
+	prices := []float64{0.2, 0.2, 0.2, 0.2, 0.2, 0.2} // on-demand rate λ
+	dem := []float64{0.4, 0.4, 0.4, 0.4, 0.4, 0.4}
+	plan, err := core.SolveDRRP(par, prices, dem)
+	if err != nil {
+		panic(err)
+	}
+	rented := 0
+	for _, c := range plan.Chi {
+		if c {
+			rented++
+		}
+	}
+	fmt.Printf("rented %d of 6 slots, cost $%.3f\n", rented, plan.Cost)
+	// Output: rented 3 of 6 slots, cost $1.368
+}
+
+// ExampleSolveSRRP builds the paper's bid-adjusted scenario tree (Eq. 10)
+// and solves the stochastic plan: prices above the bid become an
+// out-of-bid state priced at the on-demand rate.
+func ExampleSolveSRRP() {
+	base := stats.Discrete{
+		Values: []float64{0.056, 0.058, 0.060, 0.062, 0.064},
+		Probs:  []float64{0.1, 0.2, 0.4, 0.2, 0.1},
+	}
+	tree, err := scenario.Build(base, []float64{0.060, 0.060}, 0.2, scenario.BuildConfig{
+		Stages:    2,
+		RootPrice: 0.059,
+	})
+	if err != nil {
+		panic(err)
+	}
+	par := core.DefaultParams(market.C1Medium)
+	plan, err := core.SolveSRRP(par, tree, []float64{0.4, 0.4, 0.4})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("P(out-of-bid)=%.2f, rent now: %v\n", tree.OutOfBidProb(1), plan.RootRent)
+	// Output: P(out-of-bid)=0.30, rent now: true
+}
+
+// ExampleNoPlanCost shows the naive baseline the paper compares against.
+func ExampleNoPlanCost() {
+	par := core.DefaultParams(market.M1XLarge)
+	prices := []float64{0.8, 0.8, 0.8}
+	dem := []float64{0.4, 0.4, 0.4}
+	np, _ := core.NoPlanCost(par, prices, dem)
+	plan, _ := core.SolveDRRP(par, prices, dem)
+	fmt.Printf("no-plan $%.3f vs DRRP $%.3f\n", np.Cost, plan.Cost)
+	// Output: no-plan $2.664 vs DRRP $1.304
+}

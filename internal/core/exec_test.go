@@ -1,0 +1,262 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"rentplan/internal/demand"
+	"rentplan/internal/market"
+	"rentplan/internal/stats"
+)
+
+// syntheticTrace builds a deterministic "actual" spot series fluctuating
+// around base with a couple of spikes, plus a matching base distribution.
+func syntheticTrace(T int, base float64) ([]float64, stats.Discrete) {
+	actual := make([]float64, T)
+	hist := make([]float64, 0, 200)
+	pat := []float64{0, 1, -1, 2, 0, -2, 1, 0, -1, 3}
+	for t := 0; t < T; t++ {
+		actual[t] = base + 0.001*pat[t%len(pat)]
+	}
+	for i := 0; i < 200; i++ {
+		hist = append(hist, base+0.001*pat[i%len(pat)])
+	}
+	return actual, stats.NewDiscreteFromSamples(hist, 1e-4)
+}
+
+func execFixture(t *testing.T, class market.VMClass, T int, seed int64) *ExecConfig {
+	t.Helper()
+	g, err := market.NewGenerator(class, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := g.Trace(90)
+	hourly, err := tr.Hourly(0, 90*24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := hourly[:60*24]
+	return &ExecConfig{
+		Par:        DefaultParams(class),
+		Actual:     hourly[60*24 : 60*24+T],
+		Demand:     demand.Series(demand.NewTruncNormal(0.4, 0.2, seed), T),
+		Base:       stats.NewDiscreteFromSamples(hist, 1e-3),
+		TreeStages: 5,
+		MaxBranch:  4,
+	}
+}
+
+func TestOracleIsCheapestPolicy(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		cfg := execFixture(t, market.M1Large, 24, seed)
+		bids := constants(24, stats.Mean(cfg.Base.Values))
+		oracle, err := RunOracle(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, run := range map[string]func() (*Outcome, error){
+			"on-demand": func() (*Outcome, error) { return RunOnDemand(cfg) },
+			"det":       func() (*Outcome, error) { return RunDeterministic(cfg, bids) },
+			"sto":       func() (*Outcome, error) { return RunStochastic(cfg, bids) },
+		} {
+			o, err := run()
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if o.Cost < oracle.Cost-1e-6 {
+				t.Fatalf("seed %d: %s cost %v beats oracle %v", seed, name, o.Cost, oracle.Cost)
+			}
+		}
+	}
+}
+
+func TestPolicyOrderingAveraged(t *testing.T) {
+	// The Fig. 12(a) shape: averaged over evaluation windows, on-demand
+	// overpays most, the DRRP spot policy sits in between, and the SRRP
+	// policy is closest to the oracle.
+	var odSum, detSum, stoSum, oracleSum float64
+	for seed := int64(1); seed <= 6; seed++ {
+		cfg := execFixture(t, market.C1Medium, 24, seed*17)
+		bid := stats.Mean(cfg.Base.Values)
+		bids := constants(24, bid)
+		oracle, err := RunOracle(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		od, err := RunOnDemand(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		det, err := RunDeterministic(cfg, bids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sto, err := RunStochastic(cfg, bids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracleSum += oracle.Cost
+		odSum += od.Cost
+		detSum += det.Cost
+		stoSum += sto.Cost
+	}
+	if !(stoSum < detSum && detSum < odSum) {
+		t.Fatalf("ordering violated: sto=%v det=%v od=%v", stoSum, detSum, odSum)
+	}
+	if stoSum < oracleSum-1e-6 {
+		t.Fatalf("sto %v beats oracle %v", stoSum, oracleSum)
+	}
+}
+
+func TestOnDemandNeverOutOfBid(t *testing.T) {
+	cfg := execFixture(t, market.M1XLarge, 24, 5)
+	o, err := RunOnDemand(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.OutOfBidSlots != 0 {
+		t.Fatalf("on-demand policy reported %d OOB slots", o.OutOfBidSlots)
+	}
+	// Its compute cost is exactly λ per rented slot.
+	lambda := cfg.Par.Pricing.OnDemand[market.M1XLarge]
+	if math.Abs(o.Breakdown.Compute-float64(o.RentSlots)*lambda) > 1e-9 {
+		t.Fatalf("compute %v != %d·λ", o.Breakdown.Compute, o.RentSlots)
+	}
+}
+
+func TestDeterministicLowBidAlwaysOutOfBid(t *testing.T) {
+	cfg := execFixture(t, market.C1Medium, 24, 6)
+	bids := constants(24, 1e-9+0.001) // below any realistic spot
+	o, err := RunDeterministic(cfg, bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.RentSlots == 0 {
+		t.Fatal("policy never rented")
+	}
+	if o.OutOfBidSlots != o.RentSlots {
+		t.Fatalf("OOB %d of %d rented; hopeless bid must always lose", o.OutOfBidSlots, o.RentSlots)
+	}
+	// Every rented slot paid λ.
+	lambda := cfg.Par.Pricing.OnDemand[market.C1Medium]
+	if math.Abs(o.Breakdown.Compute-float64(o.RentSlots)*lambda) > 1e-9 {
+		t.Fatalf("compute %v != rented·λ", o.Breakdown.Compute)
+	}
+}
+
+func TestStochasticRootNeverOutOfBidWithSlotReplanning(t *testing.T) {
+	cfg := execFixture(t, market.C1Medium, 24, 7)
+	cfg.Replan = 1
+	bids := constants(24, stats.Mean(cfg.Base.Values))
+	o, err := RunStochastic(cfg, bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replanning every slot executes only root decisions, whose price is
+	// known — no out-of-bid events can occur.
+	if o.OutOfBidSlots != 0 {
+		t.Fatalf("OOB slots %d with per-slot replanning", o.OutOfBidSlots)
+	}
+}
+
+func TestStochasticReplanStride(t *testing.T) {
+	cfg := execFixture(t, market.C1Medium, 24, 8)
+	bids := constants(24, stats.Mean(cfg.Base.Values))
+	for _, stride := range []int{1, 3, 6} {
+		cfg.Replan = stride
+		o, err := RunStochastic(cfg, bids)
+		if err != nil {
+			t.Fatalf("stride %d: %v", stride, err)
+		}
+		if o.Cost <= 0 {
+			t.Fatalf("stride %d: nonpositive cost", stride)
+		}
+	}
+}
+
+func TestExecuteEnforcesDemand(t *testing.T) {
+	// A policy that never produces: the executor's emergency correction
+	// must still satisfy every slot's demand and charge for it.
+	actual, base := syntheticTrace(12, 0.06)
+	cfg := &ExecConfig{
+		Par:    DefaultParams(market.C1Medium),
+		Actual: actual,
+		Demand: constants(12, 0.5),
+		Base:   base,
+	}
+	o, err := execute(cfg, func(t int, inv float64) decision { return decision{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.RentSlots != 12 {
+		t.Fatalf("rented %d, want 12", o.RentSlots)
+	}
+	// Emergency production per slot equals demand: JIT cost structure.
+	wantIn := cfg.Par.UnitGenCost() * 0.5 * 12
+	if math.Abs(o.Breakdown.TransferIn-wantIn) > 1e-9 {
+		t.Fatalf("transfer-in %v, want %v", o.Breakdown.TransferIn, wantIn)
+	}
+	if o.Breakdown.Holding != 0 {
+		t.Fatalf("holding %v, want 0", o.Breakdown.Holding)
+	}
+}
+
+func TestExecConfigValidation(t *testing.T) {
+	good := &ExecConfig{
+		Par:    DefaultParams(market.C1Medium),
+		Actual: []float64{0.06},
+		Demand: []float64{0.4},
+	}
+	if err := good.validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []*ExecConfig{
+		{Par: DefaultParams(market.C1Medium)},
+		{Par: DefaultParams(market.C1Medium), Actual: []float64{0.06}, Demand: []float64{1, 2}},
+		{Par: DefaultParams(market.C1Medium), Actual: []float64{-1}, Demand: []float64{1}},
+		{Par: DefaultParams(market.C1Medium), Actual: []float64{1}, Demand: []float64{-1}},
+		{Par: DefaultParams("zzz"), Actual: []float64{1}, Demand: []float64{1}},
+	}
+	for i, c := range cases {
+		if err := c.validate(); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+	// Policy entry points propagate validation failures.
+	if _, err := RunOracle(cases[0]); err == nil {
+		t.Error("RunOracle accepted bad config")
+	}
+	if _, err := RunDeterministic(good, nil); err == nil {
+		t.Error("RunDeterministic accepted bad bids")
+	}
+	if _, err := RunStochastic(good, []float64{1}); err == nil {
+		t.Error("RunStochastic accepted empty base")
+	}
+}
+
+func TestBidPrecisionErrorGrowsWithDeviation(t *testing.T) {
+	// Fig. 12(b): SRRP cost deviation from the perfect-bid baseline grows
+	// as artificial bids deviate from the actual realisations.
+	cfg := execFixture(t, market.C1Medium, 24, 9)
+	baselineBids := append([]float64(nil), cfg.Actual...)
+	baseline, err := RunStochastic(cfg, baselineBids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errAt := func(delta float64) float64 {
+		bids := make([]float64, len(cfg.Actual))
+		for i, a := range cfg.Actual {
+			bids[i] = a * (1 + delta)
+		}
+		o, err := RunStochastic(cfg, bids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return math.Abs(o.Cost-baseline.Cost) / baseline.Cost
+	}
+	small := errAt(-0.02)
+	large := errAt(-0.10)
+	if large+1e-12 < small {
+		t.Fatalf("under-bid error should grow: |e(-2%%)|=%v |e(-10%%)|=%v", small, large)
+	}
+}

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"math"
+
+	"rentplan/internal/lp"
+)
+
+// Small helpers shared by the MILP builders.
+
+const (
+	leRel = lp.LE
+	eqRel = lp.EQ
+	geRel = lp.GE
+)
+
+// newLP allocates an empty LP with nv variables, default bounds [0, +Inf).
+func newLP(nv int) *lp.Problem {
+	p := &lp.Problem{
+		C:     make([]float64, nv),
+		Lower: make([]float64, nv),
+		Upper: make([]float64, nv),
+	}
+	for j := range p.Upper {
+		p.Upper[j] = math.Inf(1)
+	}
+	return p
+}
+
+func addRow(p *lp.Problem, row []float64, rel lp.Rel, rhs float64) {
+	p.A = append(p.A, row)
+	p.Rel = append(p.Rel, rel)
+	p.B = append(p.B, rhs)
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"rentplan/internal/lotsize"
+	"rentplan/internal/mip"
+	"rentplan/internal/scenario"
+)
+
+// StochasticPlan is the solution of SRRP's deterministic equivalent
+// (Eq. 13–19): one decision vector per scenario-tree vertex, satisfying
+// non-anticipativity by construction.
+type StochasticPlan struct {
+	Tree        *scenario.Tree
+	Alpha, Beta []float64
+	Chi         []bool
+	// ExpCost is the expected total cost δ_exp (Eq. 9), including the
+	// transfer-out term.
+	ExpCost float64
+	// Breakdown decomposes ExpCost by resource (expectation over states).
+	Breakdown CostBreakdown
+	// RootRent and RootAlpha are the implementable here-and-now decisions.
+	RootRent  bool
+	RootAlpha float64
+}
+
+// SolveSRRP computes an optimal stochastic rental plan on the given
+// scenario tree. dem[s] is the (known) demand of stage s, s = 0 being the
+// current slot; len(dem) must equal tree.Stages(). Uncapacitated instances
+// use the exact tree dynamic program; capacitated ones the MILP path.
+func SolveSRRP(par Params, tree *scenario.Tree, dem []float64) (*StochasticPlan, error) {
+	if err := par.validate(); err != nil {
+		return nil, err
+	}
+	if tree == nil {
+		return nil, errors.New("core: nil scenario tree")
+	}
+	if err := tree.Validate(); err != nil {
+		return nil, err
+	}
+	if len(dem) != tree.Stages() {
+		return nil, fmt.Errorf("core: %d demand stages for %d tree stages", len(dem), tree.Stages())
+	}
+	for _, d := range dem {
+		if d < 0 {
+			return nil, errors.New("core: negative demand")
+		}
+	}
+	if par.Capacitated() {
+		return solveSRRPMILP(par, tree, dem)
+	}
+	n := tree.N()
+	tp := &lotsize.TreeProblem{
+		Parent:           tree.Parent,
+		Prob:             tree.Prob,
+		Setup:            tree.Price,
+		Unit:             constants(n, par.UnitGenCost()),
+		Hold:             constants(n, par.HoldingCost()),
+		Demand:           make([]float64, n),
+		InitialInventory: par.Epsilon,
+	}
+	for v := 0; v < n; v++ {
+		tp.Demand[v] = dem[tree.Stage[v]]
+	}
+	sol, err := lotsize.SolveTree(tp)
+	if err != nil {
+		return nil, err
+	}
+	return assembleStochasticPlan(par, tree, dem, sol.Produce, sol.Inventory, sol.Setup), nil
+}
+
+func assembleStochasticPlan(par Params, tree *scenario.Tree, dem []float64, alpha, beta []float64, chi []bool) *StochasticPlan {
+	p := &StochasticPlan{
+		Tree:  tree,
+		Alpha: append([]float64(nil), alpha...),
+		Beta:  append([]float64(nil), beta...),
+		Chi:   append([]bool(nil), chi...),
+	}
+	for v := 0; v < tree.N(); v++ {
+		pv := tree.Prob[v]
+		if p.Chi[v] {
+			p.Breakdown.Compute += pv * tree.Price[v]
+		}
+		p.Breakdown.TransferIn += pv * par.UnitGenCost() * p.Alpha[v]
+		p.Breakdown.Holding += pv * par.HoldingCost() * p.Beta[v]
+		p.Breakdown.TransferOut += pv * par.Pricing.TransferOutPerGB * dem[tree.Stage[v]]
+	}
+	p.ExpCost = p.Breakdown.Total()
+	p.RootRent = p.Chi[0]
+	p.RootAlpha = p.Alpha[0]
+	return p
+}
+
+// solveSRRPMILP handles the capacitated deterministic equivalent via
+// branch-and-bound. Capacity[s] bounds stage s.
+func solveSRRPMILP(par Params, tree *scenario.Tree, dem []float64) (*StochasticPlan, error) {
+	prob, ix, err := BuildSRRPMILP(par, tree, dem)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := mip.Solve(prob)
+	if err != nil {
+		return nil, err
+	}
+	switch sol.Status {
+	case mip.StatusOptimal, mip.StatusFeasible:
+	case mip.StatusInfeasible:
+		return nil, errors.New("core: SRRP infeasible (capacity too tight for demand)")
+	default:
+		return nil, fmt.Errorf("core: SRRP solve stopped with status %v", sol.Status)
+	}
+	n := tree.N()
+	alpha := make([]float64, n)
+	beta := make([]float64, n)
+	chi := make([]bool, n)
+	for v := 0; v < n; v++ {
+		alpha[v] = sol.X[ix.Alpha(v)]
+		beta[v] = sol.X[ix.Beta(v)]
+		chi[v] = sol.X[ix.Chi(v)] > 0.5
+	}
+	return assembleStochasticPlan(par, tree, dem, alpha, beta, chi), nil
+}
+
+// BuildSRRPMILP constructs the deterministic equivalent MILP (13)–(19).
+// Exported for the DP-vs-MILP ablation benchmarks.
+func BuildSRRPMILP(par Params, tree *scenario.Tree, dem []float64) (*mip.Problem, MILPIndex, error) {
+	if err := par.validate(); err != nil {
+		return nil, MILPIndex{}, err
+	}
+	if err := tree.Validate(); err != nil {
+		return nil, MILPIndex{}, err
+	}
+	n := tree.N()
+	if len(dem) != tree.Stages() {
+		return nil, MILPIndex{}, errors.New("core: demand/stage mismatch")
+	}
+	ix := MILPIndex{T: n}
+	nv := 3 * n
+	// Tightened forcing bound per stage: production at a stage-s vertex
+	// never usefully exceeds the remaining path demand Σ_{s'≥s} D_{s'}.
+	S := tree.Stages()
+	remaining := make([]float64, S+1)
+	for s := S - 1; s >= 0; s-- {
+		remaining[s] = remaining[s+1] + dem[s]
+	}
+	lpp := newLP(nv)
+	for v := 0; v < n; v++ {
+		pv := tree.Prob[v]
+		lpp.C[ix.Alpha(v)] = pv * par.UnitGenCost()
+		lpp.C[ix.Beta(v)] = pv * par.HoldingCost()
+		lpp.C[ix.Chi(v)] = pv * tree.Price[v]
+		lpp.Upper[ix.Chi(v)] = 1
+	}
+	for v := 0; v < n; v++ {
+		// (14) balance: β_{π(v)} + α_v − β_v = D_{τ(v)}.
+		row := make([]float64, nv)
+		row[ix.Alpha(v)] = 1
+		row[ix.Beta(v)] = -1
+		rhs := dem[tree.Stage[v]]
+		if v == 0 {
+			rhs -= par.Epsilon
+		} else {
+			row[ix.Beta(tree.Parent[v])] = 1
+		}
+		addRow(lpp, row, eqRel, rhs)
+		// (16) forcing with the remaining-path-demand bound.
+		row2 := make([]float64, nv)
+		row2[ix.Alpha(v)] = 1
+		row2[ix.Chi(v)] = -remaining[tree.Stage[v]]
+		addRow(lpp, row2, leRel, 0)
+		// Valid inequality: α_v − β_v ≤ D_{τ(v)}·χ_v.
+		row4 := make([]float64, nv)
+		row4[ix.Alpha(v)] = 1
+		row4[ix.Beta(v)] = -1
+		row4[ix.Chi(v)] = -dem[tree.Stage[v]]
+		addRow(lpp, row4, leRel, 0)
+		// (15) bottleneck per stage.
+		if par.Capacitated() {
+			s := tree.Stage[v]
+			if s >= len(par.Capacity) {
+				return nil, MILPIndex{}, fmt.Errorf("core: capacity series shorter than stages (%d < %d)", len(par.Capacity), tree.Stages())
+			}
+			row3 := make([]float64, nv)
+			row3[ix.Alpha(v)] = par.ConsumptionRate
+			addRow(lpp, row3, leRel, par.Capacity[s])
+		}
+	}
+	ints := make([]bool, nv)
+	for v := 0; v < n; v++ {
+		ints[ix.Chi(v)] = true
+	}
+	return &mip.Problem{LP: lpp, Integer: ints}, ix, nil
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"rentplan/internal/lotsize"
+	"rentplan/internal/scenario"
+)
+
+// SolveSRRPVertexDemands extends SRRP to jointly uncertain prices and
+// demands — the paper's stated future work ("stochastic optimization
+// solutions for cloud resource provisioning with time-varying workloads").
+// Instead of one known demand per stage, every scenario-tree vertex carries
+// its own demand realisation; decisions still satisfy non-anticipativity by
+// construction. Uncapacitated instances are solved by the exact tree DP.
+//
+// dem[v] is the demand realised in the state of vertex v (len = tree.N()).
+func SolveSRRPVertexDemands(par Params, tree *scenario.Tree, dem []float64) (*StochasticPlan, error) {
+	if err := par.validate(); err != nil {
+		return nil, err
+	}
+	if tree == nil {
+		return nil, errors.New("core: nil scenario tree")
+	}
+	if err := tree.Validate(); err != nil {
+		return nil, err
+	}
+	n := tree.N()
+	if len(dem) != n {
+		return nil, fmt.Errorf("core: %d demands for %d vertices", len(dem), n)
+	}
+	for v, d := range dem {
+		if d < 0 {
+			return nil, fmt.Errorf("core: negative demand at vertex %d", v)
+		}
+	}
+	if par.Capacitated() {
+		return nil, errors.New("core: capacitated joint-uncertainty SRRP not supported; drop Capacity or use SolveSRRP")
+	}
+	tp := &lotsize.TreeProblem{
+		Parent:           tree.Parent,
+		Prob:             tree.Prob,
+		Setup:            tree.Price,
+		Unit:             constants(n, par.UnitGenCost()),
+		Hold:             constants(n, par.HoldingCost()),
+		Demand:           dem,
+		InitialInventory: par.Epsilon,
+	}
+	sol, err := lotsize.SolveTree(tp)
+	if err != nil {
+		return nil, err
+	}
+	p := &StochasticPlan{
+		Tree:  tree,
+		Alpha: append([]float64(nil), sol.Produce...),
+		Beta:  append([]float64(nil), sol.Inventory...),
+		Chi:   append([]bool(nil), sol.Setup...),
+	}
+	for v := 0; v < n; v++ {
+		pv := tree.Prob[v]
+		if p.Chi[v] {
+			p.Breakdown.Compute += pv * tree.Price[v]
+		}
+		p.Breakdown.TransferIn += pv * par.UnitGenCost() * p.Alpha[v]
+		p.Breakdown.Holding += pv * par.HoldingCost() * p.Beta[v]
+		p.Breakdown.TransferOut += pv * par.Pricing.TransferOutPerGB * dem[v]
+	}
+	p.ExpCost = p.Breakdown.Total()
+	p.RootRent = p.Chi[0]
+	p.RootAlpha = p.Alpha[0]
+	return p, nil
+}

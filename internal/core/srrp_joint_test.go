@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"rentplan/internal/market"
+	"rentplan/internal/scenario"
+	"rentplan/internal/stats"
+)
+
+func TestBuildJointSingleDemandStateMatchesSRRP(t *testing.T) {
+	par := DefaultParams(market.C1Medium)
+	bids := []float64{0.060, 0.060, 0.060}
+	demState := stats.Discrete{Values: []float64{0.4}, Probs: []float64{1}}
+	tree, dem, err := scenario.BuildJoint(baseDist(), bids, 0.2, demState, 0.4,
+		scenario.BuildConfig{Stages: 3, RootPrice: 0.06})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joint, err := SolveSRRPVertexDemands(par, tree, dem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equivalent stage-demand SRRP.
+	plain := srrpTree(t, 3, 0.060)
+	ref, err := SolveSRRP(par, plain, []float64{0.4, 0.4, 0.4, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(joint.ExpCost-ref.ExpCost) > 1e-9 {
+		t.Fatalf("joint %v != plain %v", joint.ExpCost, ref.ExpCost)
+	}
+	if joint.RootRent != ref.RootRent || math.Abs(joint.RootAlpha-ref.RootAlpha) > 1e-9 {
+		t.Fatal("root decisions differ")
+	}
+}
+
+func TestJointDemandUncertaintyPlanIsFeasiblePerScenario(t *testing.T) {
+	par := DefaultParams(market.M1Large)
+	par.Epsilon = 0.3
+	bids := []float64{0.12, 0.12}
+	demState := stats.Discrete{Values: []float64{0.2, 0.5, 0.9}, Probs: []float64{0.3, 0.5, 0.2}}
+	tree, dem, err := scenario.BuildJoint(baseDist(), bids, 0.4, demState, 0.4,
+		scenario.BuildConfig{Stages: 2, MaxBranch: 3, RootPrice: 0.12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := SolveSRRPVertexDemands(par, tree, dem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every root-leaf path must satisfy its own demand realisation.
+	for _, leaf := range tree.Leaves() {
+		inv := par.Epsilon
+		for _, v := range tree.Path(leaf) {
+			inv = inv + plan.Alpha[v] - dem[v]
+			if inv < -1e-9 {
+				t.Fatalf("scenario through leaf %d infeasible at vertex %d", leaf, v)
+			}
+			if math.Abs(inv-plan.Beta[v]) > 1e-9 {
+				t.Fatalf("beta mismatch at vertex %d", v)
+			}
+			if plan.Alpha[v] > 1e-9 && !plan.Chi[v] {
+				t.Fatalf("production without setup at %d", v)
+			}
+		}
+	}
+	if math.Abs(plan.Breakdown.Total()-plan.ExpCost) > 1e-9 {
+		t.Fatal("breakdown mismatch")
+	}
+}
+
+func TestJointPlanRespectsWaitAndSeeBound(t *testing.T) {
+	// The non-anticipative stochastic optimum can never beat the
+	// wait-and-see bound: the probability-weighted average of per-scenario
+	// perfect-information optima (EV ≥ WS).
+	par := DefaultParams(market.C1Medium)
+	par.Epsilon = 0.2
+	bids := []float64{0.060, 0.060, 0.060}
+	demState := stats.Discrete{Values: []float64{0.1, 0.7}, Probs: []float64{0.5, 0.5}}
+	tree, dem, err := scenario.BuildJoint(baseDist(), bids, 0.2, demState, 0.4,
+		scenario.BuildConfig{Stages: 3, MaxBranch: 3, RootPrice: 0.06})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joint, err := SolveSRRPVertexDemands(par, tree, dem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := 0.0
+	for _, leaf := range tree.Leaves() {
+		path := tree.Path(leaf)
+		prices := make([]float64, len(path))
+		dems := make([]float64, len(path))
+		for i, v := range path {
+			prices[i] = tree.Price[v]
+			dems[i] = dem[v]
+		}
+		opt, err := SolveDRRP(par, prices, dems)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws += tree.Prob[leaf] * opt.Cost
+	}
+	if joint.ExpCost < ws-1e-9 {
+		t.Fatalf("stochastic optimum %v beats the wait-and-see bound %v", joint.ExpCost, ws)
+	}
+	// And it is no worse than the naive per-scenario JIT policy.
+	jit := 0.0
+	for _, leaf := range tree.Leaves() {
+		path := tree.Path(leaf)
+		prices := make([]float64, len(path))
+		dems := make([]float64, len(path))
+		for i, v := range path {
+			prices[i] = tree.Price[v]
+			dems[i] = dem[v]
+		}
+		np, err := NoPlanCost(par, prices, dems)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jit += tree.Prob[leaf] * np.Cost
+	}
+	if joint.ExpCost > jit+1e-9 {
+		t.Fatalf("stochastic optimum %v worse than JIT upper bound %v", joint.ExpCost, jit)
+	}
+}
+
+func TestSolveSRRPVertexDemandsErrors(t *testing.T) {
+	par := DefaultParams(market.C1Medium)
+	tr := srrpTree(t, 2, 0.06)
+	if _, err := SolveSRRPVertexDemands(par, nil, nil); err == nil {
+		t.Fatal("want nil tree error")
+	}
+	if _, err := SolveSRRPVertexDemands(par, tr, []float64{1}); err == nil {
+		t.Fatal("want length error")
+	}
+	bad := make([]float64, tr.N())
+	bad[1] = -1
+	if _, err := SolveSRRPVertexDemands(par, tr, bad); err == nil {
+		t.Fatal("want negative demand error")
+	}
+	capPar := par
+	capPar.ConsumptionRate = 1
+	capPar.Capacity = []float64{1, 1, 1}
+	if _, err := SolveSRRPVertexDemands(capPar, tr, make([]float64, tr.N())); err == nil {
+		t.Fatal("want capacitated-unsupported error")
+	}
+}
+
+func TestBuildJointErrors(t *testing.T) {
+	good := stats.Discrete{Values: []float64{0.4}, Probs: []float64{1}}
+	cfg := scenario.BuildConfig{Stages: 2, RootPrice: 0.06}
+	if _, _, err := scenario.BuildJoint(baseDist(), []float64{1, 1}, 0.2, stats.Discrete{}, 0.4, cfg); err == nil {
+		t.Fatal("want empty demand error")
+	}
+	negD := stats.Discrete{Values: []float64{-1}, Probs: []float64{1}}
+	if _, _, err := scenario.BuildJoint(baseDist(), []float64{1, 1}, 0.2, negD, 0.4, cfg); err == nil {
+		t.Fatal("want negative demand state error")
+	}
+	if _, _, err := scenario.BuildJoint(baseDist(), []float64{1, 1}, 0.2, good, -1, cfg); err == nil {
+		t.Fatal("want negative root demand error")
+	}
+	if _, _, err := scenario.BuildJoint(baseDist(), []float64{1}, 0.2, good, 0.4, cfg); err == nil {
+		t.Fatal("want bid-length error")
+	}
+}

@@ -1,0 +1,15 @@
+package demand_test
+
+import (
+	"fmt"
+
+	"rentplan/internal/demand"
+)
+
+// ExampleSeries materialises a diurnal workload.
+func ExampleSeries() {
+	p := demand.Diurnal{Base: 1, Amp: 0.5}
+	xs := demand.Series(p, 4)
+	fmt.Printf("%.2f %.2f %.2f %.2f\n", xs[0], xs[1], xs[2], xs[3])
+	// Output: 1.00 1.13 1.25 1.35
+}

@@ -1,0 +1,101 @@
+// Package experiments reproduces every figure of the paper's evaluation
+// (Sec. IV-A and Sec. V): the spot-price predictability study (Figs. 3–8),
+// the deterministic planning comparison and sensitivity analysis
+// (Figs. 10–11), and the stochastic planning evaluation (Fig. 12). Each
+// experiment is a pure function from a configuration to a structured result
+// that can be rendered as the same rows/series the paper plots.
+package experiments
+
+import (
+	"fmt"
+
+	"rentplan/internal/market"
+)
+
+// Config sets the shared experimental scenario.
+type Config struct {
+	// Traces holds one spot trace per VM class; nil selects the
+	// deterministic reference traces.
+	Traces map[market.VMClass]*market.SpotTrace
+	// HistDays is the length of the history window feeding the base
+	// distribution and forecasts (paper: two months).
+	HistDays int
+	// EvalDays lists the trace days used as evaluation windows for the
+	// Fig. 12 experiments; results are averaged across them.
+	EvalDays []int
+	// DemandSeed seeds the demand processes.
+	DemandSeed int64
+	// TreeStages and MaxBranch configure SRRP scenario trees.
+	TreeStages, MaxBranch int
+}
+
+// DefaultConfig returns the full-scale configuration used by the paper
+// reproduction: 507-day reference traces, two-month history windows, and 13
+// evaluation days spread over the trace.
+func DefaultConfig() (*Config, error) {
+	traces, err := market.ReferenceTraces()
+	if err != nil {
+		return nil, err
+	}
+	cfg := &Config{
+		Traces:     traces,
+		HistDays:   60,
+		DemandSeed: 4012,
+		TreeStages: 5,
+		MaxBranch:  4,
+	}
+	for day := 120; day+1 <= market.ReferenceDays-1; day += 30 {
+		cfg.EvalDays = append(cfg.EvalDays, day)
+	}
+	return cfg, nil
+}
+
+// QuickConfig returns a reduced configuration (shorter traces, fewer
+// windows) for tests and smoke runs.
+func QuickConfig(seed int64) (*Config, error) {
+	traces := make(map[market.VMClass]*market.SpotTrace)
+	for i, class := range market.AllClasses() {
+		g, err := market.NewGenerator(class, seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		traces[class] = g.Trace(150)
+	}
+	return &Config{
+		Traces:     traces,
+		HistDays:   45,
+		EvalDays:   []int{60, 95, 130},
+		DemandSeed: seed,
+		TreeStages: 5,
+		MaxBranch:  4,
+	}, nil
+}
+
+func (c *Config) validate() error {
+	if len(c.Traces) == 0 {
+		return fmt.Errorf("experiments: no traces configured")
+	}
+	if c.HistDays <= 0 {
+		return fmt.Errorf("experiments: HistDays %d", c.HistDays)
+	}
+	return nil
+}
+
+// hourlyWindow resamples a class trace and returns (history, evalDay) hourly
+// series for the given evaluation day.
+func (c *Config) hourlyWindow(class market.VMClass, evalDay int) (hist, eval []float64, err error) {
+	tr, ok := c.Traces[class]
+	if !ok {
+		return nil, nil, fmt.Errorf("experiments: no trace for class %s", class)
+	}
+	if evalDay-c.HistDays < 0 || (evalDay+1)*24 > tr.Days*24 {
+		return nil, nil, fmt.Errorf("experiments: eval day %d outside trace (%d days, hist %d)", evalDay, tr.Days, c.HistDays)
+	}
+	start := float64((evalDay - c.HistDays) * 24)
+	n := (c.HistDays + 1) * 24
+	all, err := tr.Events.Resample(start, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	return all[:c.HistDays*24], all[c.HistDays*24:], nil
+}

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCapacitySweepShape(t *testing.T) {
+	cfg := quickCfg(t)
+	caps := []float64{20, 0.8, 0.5, 0.1}
+	pts, err := CapacitySweep(cfg, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(caps) {
+		t.Fatalf("points %d", len(pts))
+	}
+	// Loose capacity ≈ uncapacitated optimum.
+	if !pts[0].Feasible || pts[0].Ratio > 1.001 {
+		t.Fatalf("loose capacity should match free optimum: %+v", pts[0])
+	}
+	// Ratios rise monotonically as capacity tightens (over feasible pts).
+	prev := 0.0
+	for _, p := range pts {
+		if !p.Feasible {
+			continue
+		}
+		if p.Ratio < prev-1e-9 {
+			t.Fatalf("cost ratio fell as capacity tightened: %+v", pts)
+		}
+		if p.Ratio < 1-1e-9 {
+			t.Fatalf("capacitated cheaper than uncapacitated: %+v", p)
+		}
+		if p.MaxAlpha > p.Capacity+1e-6 {
+			t.Fatalf("capacity violated: %+v", p)
+		}
+		prev = p.Ratio
+	}
+	// Capacity below the mean demand cannot serve the workload.
+	if pts[len(pts)-1].Feasible {
+		t.Fatalf("capacity 0.1 GB/h should be infeasible for N(0.4,0.2) demand")
+	}
+	if _, err := CapacitySweep(cfg, nil); err == nil {
+		t.Fatal("want empty-capacities error")
+	}
+}
+
+func TestForecastHorizonStudyDecays(t *testing.T) {
+	cfg := quickCfg(t)
+	pts, err := ForecastHorizonStudy(cfg, []int{1, 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points %d", len(pts))
+	}
+	h1, h24 := pts[0], pts[1]
+	if h1.Horizon != 1 || h24.Horizon != 24 {
+		t.Fatalf("horizons %+v", pts)
+	}
+	if h1.Origins == 0 || h24.Origins == 0 {
+		t.Fatalf("no origins evaluated: %+v", pts)
+	}
+	// Short-range forecasts beat the mean more than day-ahead ones.
+	if h1.Improvement < h24.Improvement-1e-9 {
+		t.Fatalf("1h improvement %v below 24h improvement %v", h1.Improvement, h24.Improvement)
+	}
+	// Day-ahead skill is modest — the paper's central negative result.
+	if h24.Improvement > 0.6 {
+		t.Fatalf("day-ahead improvement %v suspiciously large", h24.Improvement)
+	}
+	if _, err := ForecastHorizonStudy(cfg, nil); err == nil {
+		t.Fatal("want empty-horizons error")
+	}
+}
+
+func TestFederationStudyMonotone(t *testing.T) {
+	cfg := quickCfg(t)
+	pts, err := FederationStudy(cfg, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].MeanPrice > pts[i-1].MeanPrice+1e-12 {
+			t.Fatalf("mean price rose with coalition size: %+v", pts)
+		}
+		if pts[i].OracleCost > pts[i-1].OracleCost+1e-9 {
+			t.Fatalf("planning cost rose with coalition size: %+v", pts)
+		}
+	}
+	if pts[0].Ratio != 1 {
+		t.Fatalf("base ratio %v", pts[0].Ratio)
+	}
+	if pts[2].Switches == 0 {
+		t.Fatal("4-provider coalition never switches")
+	}
+	if _, err := FederationStudy(cfg, nil); err == nil {
+		t.Fatal("want empty-sizes error")
+	}
+}
+
+func TestRiskFrontierMonotone(t *testing.T) {
+	cfg := quickCfg(t)
+	pts, err := RiskFrontier(cfg, []float64{0, 0.5, 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].ExpCost < pts[i-1].ExpCost-1e-6 {
+			t.Fatalf("expected cost fell with risk aversion: %+v", pts)
+		}
+		if pts[i].CVaR > pts[i-1].CVaR+1e-6 {
+			t.Fatalf("CVaR rose with risk aversion: %+v", pts)
+		}
+	}
+	if _, err := RiskFrontier(cfg, nil); err == nil {
+		t.Fatal("want empty-lambdas error")
+	}
+}
+
+func TestRobustnessStudyAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("robustness study is slow")
+	}
+	results, err := RobustnessStudy(1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("results %d", len(results))
+	}
+	f10, f11, f12a := PassRates(results)
+	// The paper's qualitative findings must hold on the large majority of
+	// independently simulated markets — not just the committed seed.
+	if f10 < 0.8 {
+		t.Errorf("Fig10 shape held on only %.0f%% of seeds", 100*f10)
+	}
+	if f11 < 0.8 {
+		t.Errorf("Fig11 shape held on only %.0f%% of seeds", 100*f11)
+	}
+	if f12a < 0.8 {
+		t.Errorf("Fig12a shape held on only %.0f%% of seeds: %+v", 100*f12a, results)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("seed %d errored: %v", r.Seed, r.Err)
+		}
+	}
+}
+
+func TestRobustnessStudyValidation(t *testing.T) {
+	if _, err := RobustnessStudy(1, 0); err == nil {
+		t.Fatal("want numSeeds error")
+	}
+	if f10, f11, f12 := PassRates(nil); f10 != 0 || f11 != 0 || f12 != 0 {
+		t.Fatal("empty pass rates should be zero")
+	}
+}
+
+func TestRunExtensionsReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension report is slow")
+	}
+	cfg := quickCfg(t)
+	var sb strings.Builder
+	if err := RunExtensions(cfg, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"capacitated DRRP", "forecast skill", "risk-aversion frontier",
+		"federation", "seed robustness",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("extensions report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rentplan/internal/market"
+)
+
+// SeedResult records which paper findings held on one independently
+// generated market.
+type SeedResult struct {
+	Seed int64
+	// Fig10Shape: DRRP saving grows with class power.
+	// Fig11Shape: the three sensitivity sweeps move the right way.
+	// Fig12aShape: on-demand worst and SRRP beats DRRP counterparts.
+	Fig10Shape, Fig11Shape, Fig12aShape bool
+	Err                                 error
+}
+
+// RobustnessStudy re-runs the headline shape checks on markets generated
+// from numSeeds independent seeds. A reproduction that only works for one
+// lucky seed is no reproduction; this study quantifies how often each of
+// the paper's qualitative findings holds across re-simulated worlds.
+func RobustnessStudy(baseSeed int64, numSeeds int) ([]SeedResult, error) {
+	if numSeeds <= 0 {
+		return nil, fmt.Errorf("experiments: numSeeds must be positive")
+	}
+	var out []SeedResult
+	for k := 0; k < numSeeds; k++ {
+		seed := baseSeed + int64(k)*1009
+		r := SeedResult{Seed: seed}
+		cfg, err := QuickConfig(seed)
+		if err != nil {
+			r.Err = err
+			out = append(out, r)
+			continue
+		}
+		if rows, err := Fig10CostComparison(cfg); err == nil {
+			r.Fig10Shape = fig10Monotone(rows)
+		} else {
+			r.Err = err
+		}
+		if res, err := Fig11Sensitivity(cfg); err == nil {
+			r.Fig11Shape = res.Validate() == nil
+		} else {
+			r.Err = err
+		}
+		if rows, err := Fig12aOverpay(cfg); err == nil {
+			r.Fig12aShape = Fig12aValidate(rows) == nil
+		} else {
+			r.Err = err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func fig10Monotone(rows []Fig10Row) bool {
+	if len(rows) != len(market.PlanningClasses()) {
+		return false
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].ReductionPct <= rows[i-1].ReductionPct {
+			return false
+		}
+	}
+	return rows[len(rows)-1].ReductionPct > 35 // ≈ the paper's 49% regime
+}
+
+// PassRates aggregates a robustness study into per-finding pass fractions.
+func PassRates(results []SeedResult) (fig10, fig11, fig12a float64) {
+	if len(results) == 0 {
+		return 0, 0, 0
+	}
+	n := float64(len(results))
+	for _, r := range results {
+		if r.Fig10Shape {
+			fig10++
+		}
+		if r.Fig11Shape {
+			fig11++
+		}
+		if r.Fig12aShape {
+			fig12a++
+		}
+	}
+	return fig10 / n, fig11 / n, fig12a / n
+}

@@ -1,0 +1,201 @@
+package lotsize
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// SolveChainCapacitated solves the EQUAL-capacity capacitated lot-sizing
+// problem exactly: the ChainProblem plus the constraint α_t ≤ capacity for
+// every slot. It implements the classic Florian–Klein regeneration
+// dynamic program: in an extreme-point optimum, inventory hits zero at a
+// sequence of regeneration points, and between consecutive regeneration
+// points every production is either 0, the full capacity C, or (at most
+// once) the fractional remainder f = W mod C of the interval's demand W.
+//
+// Complexity is O(T² · T·(W/C)) — comfortably fast for the daily planning
+// horizons of DRRP — and the result is exact for arbitrary nonnegative
+// time-varying costs, matching branch-and-bound on the MILP formulation
+// (cross-checked in tests).
+func SolveChainCapacitated(p *ChainProblem, capacity float64) (*ChainSolution, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if capacity <= 0 {
+		return nil, errors.New("lotsize: capacity must be positive")
+	}
+	T := p.T()
+	// Net the initial inventory ε exactly as SolveChain does; the problems
+	// are cost-equivalent up to the constant carrying charge.
+	net := make([]float64, T)
+	constCost := 0.0
+	cum := 0.0
+	for t := 0; t < T; t++ {
+		cum += p.Demand[t]
+		net[t] = math.Min(p.Demand[t], math.Max(0, cum-p.InitialInventory))
+		constCost += p.Hold[t] * math.Max(0, p.InitialInventory-cum)
+	}
+	cumNet := make([]float64, T+1)
+	for t := 0; t < T; t++ {
+		cumNet[t+1] = cumNet[t] + net[t]
+	}
+	// Global feasibility: cumulative capacity must cover cumulative demand.
+	for t := 0; t < T; t++ {
+		if cumNet[t+1] > capacity*float64(t+1)+1e-9 {
+			return nil, fmt.Errorf("lotsize: infeasible: cumulative demand %.4g through slot %d exceeds cumulative capacity %.4g",
+				cumNet[t+1], t, capacity*float64(t+1))
+		}
+	}
+
+	const eps = 1e-9
+	type plan struct {
+		cost    float64
+		amounts []float64 // per slot of the interval
+	}
+	// intervalCost computes the optimal production plan for slots a..b with
+	// zero inventory entering a and leaving b.
+	intervalCost := func(a, b int) (plan, bool) {
+		W := cumNet[b+1] - cumNet[a]
+		n := b - a + 1
+		if W <= eps {
+			// Nothing to produce; inventory identically zero, no holding.
+			return plan{amounts: make([]float64, n)}, true
+		}
+		kFull := int(math.Floor(W/capacity + eps))
+		f := W - float64(kFull)*capacity
+		if f < eps {
+			f = 0
+		}
+		nProd := kFull
+		if f > 0 {
+			nProd++
+		}
+		if nProd > n {
+			return plan{}, false // not enough slots at this capacity
+		}
+		// DP over (slot offset, full batches used, fractional used):
+		// inventory after slot i is determined by the counts.
+		type state struct{ used, frac int }
+		const inf = math.MaxFloat64
+		cur := map[state]float64{{0, 0}: 0}
+		choice := make([]map[state]int, n) // -1 none, 0 full, 1 frac
+		for i := 0; i < n; i++ {
+			t := a + i
+			next := map[state]float64{}
+			choice[i] = map[state]int{}
+			demSoFar := cumNet[t+1] - cumNet[a]
+			for st, c := range cur {
+				if c >= inf {
+					continue
+				}
+				try := func(nst state, add float64, ch int) {
+					produced := float64(nst.used)*capacity + float64(nst.frac)*f
+					inv := produced - demSoFar
+					if inv < -eps {
+						return // demand violated
+					}
+					if inv < 0 {
+						inv = 0
+					}
+					total := c + add + p.Hold[t]*inv
+					if old, ok := next[nst]; !ok || total < old-1e-15 {
+						next[nst] = total
+						choice[i][nst] = ch
+					}
+				}
+				// Produce nothing.
+				try(st, 0, -1)
+				// Produce a full batch.
+				if st.used < kFull {
+					try(state{st.used + 1, st.frac}, p.Setup[t]+p.Unit[t]*capacity, 0)
+				}
+				// Produce the fractional batch.
+				if f > 0 && st.frac == 0 {
+					try(state{st.used, 1}, p.Setup[t]+p.Unit[t]*f, 1)
+				}
+			}
+			cur = next
+			if len(cur) == 0 {
+				return plan{}, false
+			}
+		}
+		goal := state{kFull, 0}
+		if f > 0 {
+			goal = state{kFull, 1}
+		}
+		best, ok := cur[goal]
+		if !ok {
+			return plan{}, false
+		}
+		// Reconstruct the amounts.
+		amounts := make([]float64, n)
+		st := goal
+		for i := n - 1; i >= 0; i-- {
+			ch := choice[i][st]
+			switch ch {
+			case 0:
+				amounts[i] = capacity
+				st = state{st.used - 1, st.frac}
+			case 1:
+				amounts[i] = f
+				st = state{st.used, 0}
+			}
+		}
+		return plan{cost: best, amounts: amounts}, true
+	}
+
+	// Outer regeneration DP: G[j] = min cost for slots 0..j−1 with zero
+	// inventory at both ends.
+	G := make([]float64, T+1)
+	from := make([]int, T+1)
+	plans := make([]plan, T+1)
+	for j := 1; j <= T; j++ {
+		G[j] = math.Inf(1)
+		from[j] = -1
+	}
+	for j := 1; j <= T; j++ {
+		for i := 0; i < j; i++ {
+			if math.IsInf(G[i], 1) {
+				continue
+			}
+			pl, ok := intervalCost(i, j-1)
+			if !ok {
+				continue
+			}
+			if v := G[i] + pl.cost; v < G[j] {
+				G[j] = v
+				from[j] = i
+				plans[j] = pl
+			}
+		}
+	}
+	if math.IsInf(G[T], 1) {
+		return nil, errors.New("lotsize: no feasible capacitated plan found")
+	}
+	sol := &ChainSolution{
+		Cost:      G[T] + constCost,
+		Produce:   make([]float64, T),
+		Setup:     make([]bool, T),
+		Inventory: make([]float64, T),
+	}
+	for j := T; j > 0; {
+		i := from[j]
+		for k, amt := range plans[j].amounts {
+			if amt > eps {
+				sol.Produce[i+k] = amt
+				sol.Setup[i+k] = true
+			}
+		}
+		j = i
+	}
+	inv := p.InitialInventory
+	for t := 0; t < T; t++ {
+		inv = inv + sol.Produce[t] - p.Demand[t]
+		if inv < 0 && inv > -1e-9 {
+			inv = 0
+		}
+		sol.Inventory[t] = inv
+	}
+	return sol, nil
+}

@@ -1,0 +1,180 @@
+package lotsize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rentplan/internal/lp"
+	"rentplan/internal/mip"
+)
+
+// chainCapMILP extends the chain MILP with α_t ≤ capacity rows.
+func chainCapMILP(p *ChainProblem, capacity float64) *mip.Problem {
+	prob := chainMILP(p)
+	T := p.T()
+	nv := 3 * T
+	for t := 0; t < T; t++ {
+		row := make([]float64, nv)
+		row[t] = 1 // alpha index
+		prob.LP.A = append(prob.LP.A, row)
+		prob.LP.Rel = append(prob.LP.Rel, lp.LE)
+		prob.LP.B = append(prob.LP.B, capacity)
+	}
+	return prob
+}
+
+func solveChainCapMILP(t *testing.T, p *ChainProblem, capacity float64) (float64, bool) {
+	t.Helper()
+	sol, err := mip.SolveWithOptions(chainCapMILP(p, capacity), mip.Options{MaxNodes: 300000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch sol.Status {
+	case mip.StatusOptimal:
+		return sol.Obj, true
+	case mip.StatusInfeasible:
+		return 0, false
+	default:
+		t.Fatalf("MILP status %v", sol.Status)
+		return 0, false
+	}
+}
+
+func TestCapacitatedHandExample(t *testing.T) {
+	// Demand 3 per slot, capacity 4: cannot batch two slots fully, so the
+	// plan alternates full batches and fractional top-ups.
+	p := &ChainProblem{
+		Setup:  []float64{2, 2, 2},
+		Unit:   []float64{0, 0, 0},
+		Hold:   []float64{0.1, 0.1, 0.1},
+		Demand: []float64{3, 3, 3},
+	}
+	sol, err := SolveChainCapacitated(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, ok := solveChainCapMILP(t, p, 4)
+	if !ok {
+		t.Fatal("MILP infeasible")
+	}
+	if math.Abs(sol.Cost-want) > 1e-6 {
+		t.Fatalf("DP %v != MILP %v", sol.Cost, want)
+	}
+	for tt, a := range sol.Produce {
+		if a > 4+1e-9 {
+			t.Fatalf("capacity violated at %d: %v", tt, a)
+		}
+	}
+}
+
+func TestCapacitatedEqualsUncapacitatedWhenLoose(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		p := randomChain(rng, 3+rng.Intn(8), 0)
+		free, err := SolveChain(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		capped, err := SolveChainCapacitated(p, 1e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(free.Cost-capped.Cost) > 1e-6 {
+			t.Fatalf("trial %d: loose capacity %v != free %v", trial, capped.Cost, free.Cost)
+		}
+	}
+}
+
+func TestCapacitatedRandomVsMILP(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		T := 3 + rng.Intn(6)
+		eps := 0.0
+		if trial%3 == 0 {
+			eps = rng.Float64()
+		}
+		p := randomChain(rng, T, eps)
+		// Capacity between mean demand and peak batching.
+		capacity := 0.8 + rng.Float64()*2.5
+		sol, err := SolveChainCapacitated(p, capacity)
+		want, feasible := solveChainCapMILP(t, p, capacity)
+		if !feasible {
+			if err == nil {
+				t.Fatalf("trial %d: DP found a plan where MILP is infeasible", trial)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: DP failed on feasible instance: %v", trial, err)
+		}
+		if math.Abs(sol.Cost-want) > 1e-5 {
+			t.Fatalf("trial %d: DP %v != MILP %v (cap %v, problem %+v)", trial, sol.Cost, want, capacity, p)
+		}
+		// Plan validity.
+		inv := p.InitialInventory
+		for tt := 0; tt < T; tt++ {
+			if sol.Produce[tt] > capacity+1e-9 {
+				t.Fatalf("trial %d: capacity violated", trial)
+			}
+			if sol.Produce[tt] > 1e-9 && !sol.Setup[tt] {
+				t.Fatalf("trial %d: production without setup", trial)
+			}
+			inv = inv + sol.Produce[tt] - p.Demand[tt]
+			if inv < -1e-9 {
+				t.Fatalf("trial %d: demand violated", trial)
+			}
+		}
+	}
+}
+
+func TestCapacitatedInfeasible(t *testing.T) {
+	p := &ChainProblem{
+		Setup:  []float64{1, 1},
+		Unit:   []float64{1, 1},
+		Hold:   []float64{1, 1},
+		Demand: []float64{3, 3},
+	}
+	if _, err := SolveChainCapacitated(p, 2); err == nil {
+		t.Fatal("want infeasibility error")
+	}
+	if _, err := SolveChainCapacitated(p, 0); err == nil {
+		t.Fatal("want capacity error")
+	}
+}
+
+func TestCapacitatedTightExactlyFeasible(t *testing.T) {
+	// Capacity exactly equals per-slot demand: just-in-time is forced.
+	p := &ChainProblem{
+		Setup:  []float64{5, 5, 5, 5},
+		Unit:   []float64{1, 1, 1, 1},
+		Hold:   []float64{0.1, 0.1, 0.1, 0.1},
+		Demand: []float64{2, 2, 2, 2},
+	}
+	sol, err := SolveChainCapacitated(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := range sol.Produce {
+		if math.Abs(sol.Produce[tt]-2) > 1e-9 || !sol.Setup[tt] {
+			t.Fatalf("JIT forced plan wrong: %v", sol.Produce)
+		}
+	}
+	// Cost = 4 setups + 8 units + zero holding.
+	if math.Abs(sol.Cost-(20+8)) > 1e-9 {
+		t.Fatalf("cost %v", sol.Cost)
+	}
+}
+
+func BenchmarkCapacitatedDP24(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	p := randomChain(rng, 24, 0)
+	// randomChain draws demands up to 3 GB; capacity 3.2 keeps the instance
+	// feasible while still binding.
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveChainCapacitated(p, 3.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

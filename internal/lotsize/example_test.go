@@ -1,0 +1,41 @@
+package lotsize_test
+
+import (
+	"fmt"
+
+	"rentplan/internal/lotsize"
+)
+
+// ExampleSolveChain solves a three-slot Wagner–Whitin instance: the high
+// setup cost makes one big batch optimal.
+func ExampleSolveChain() {
+	sol, err := lotsize.SolveChain(&lotsize.ChainProblem{
+		Setup:  []float64{5, 5, 5},
+		Unit:   []float64{1, 1, 1},
+		Hold:   []float64{0.5, 0.5, 0.5},
+		Demand: []float64{2, 2, 2},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cost %.1f, produce %v\n", sol.Cost, sol.Produce)
+	// Output: cost 14.0, produce [6 0 0]
+}
+
+// ExampleSolveTree solves a stochastic lot-sizing tree where the root must
+// hedge two demand branches with shared inventory.
+func ExampleSolveTree() {
+	sol, err := lotsize.SolveTree(&lotsize.TreeProblem{
+		Parent: []int{-1, 0, 0},
+		Prob:   []float64{1, 0.5, 0.5},
+		Setup:  []float64{1, 100, 100},
+		Unit:   []float64{1, 1, 1},
+		Hold:   []float64{0.01, 0.01, 0.01},
+		Demand: []float64{1, 2, 4},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("root produces %.0f (worst branch), cost %.2f\n", sol.Produce[0], sol.Cost)
+	// Output: root produces 5 (worst branch), cost 6.05
+}

@@ -1,0 +1,224 @@
+package lotsize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// chainFromQuick maps arbitrary fuzz values into a valid chain problem.
+func chainFromQuick(raw []float64, eps float64) *ChainProblem {
+	T := len(raw)/4 + 1
+	if T > 12 {
+		T = 12
+	}
+	p := &ChainProblem{
+		Setup:            make([]float64, T),
+		Unit:             make([]float64, T),
+		Hold:             make([]float64, T),
+		Demand:           make([]float64, T),
+		InitialInventory: sanitize(eps, 3),
+	}
+	get := func(i int, scale float64) float64 {
+		if i < len(raw) {
+			return sanitize(raw[i], scale)
+		}
+		return scale / 2
+	}
+	for t := 0; t < T; t++ {
+		p.Setup[t] = get(4*t, 5)
+		p.Unit[t] = get(4*t+1, 2)
+		p.Hold[t] = get(4*t+2, 1)
+		p.Demand[t] = get(4*t+3, 3)
+	}
+	return p
+}
+
+func sanitize(x, scale float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return scale / 2
+	}
+	return math.Abs(math.Mod(x, scale))
+}
+
+// TestQuickChainPlanIsFeasibleAndSelfConsistent: for arbitrary instances,
+// the DP's plan satisfies the balance equations, never produces without a
+// setup, and its recomputed cost matches the reported optimum.
+func TestQuickChainPlanIsFeasibleAndSelfConsistent(t *testing.T) {
+	f := func(raw []float64, eps float64) bool {
+		p := chainFromQuick(raw, eps)
+		sol, err := SolveChain(p)
+		if err != nil {
+			return false
+		}
+		inv := p.InitialInventory
+		cost := 0.0
+		for tt := 0; tt < p.T(); tt++ {
+			if sol.Produce[tt] < 0 {
+				return false
+			}
+			if sol.Produce[tt] > 1e-9 && !sol.Setup[tt] {
+				return false
+			}
+			if sol.Setup[tt] {
+				cost += p.Setup[tt]
+			}
+			cost += p.Unit[tt] * sol.Produce[tt]
+			inv = inv + sol.Produce[tt] - p.Demand[tt]
+			if inv < -1e-9 {
+				return false
+			}
+			cost += p.Hold[tt] * math.Max(inv, 0)
+			if math.Abs(math.Max(inv, 0)-sol.Inventory[tt]) > 1e-6 {
+				return false
+			}
+		}
+		return math.Abs(cost-sol.Cost) < 1e-6*(1+math.Abs(cost))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickChainDominatesRandomPlans: no randomly generated feasible plan
+// may cost less than the DP optimum.
+func TestQuickChainDominatesRandomPlans(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	f := func(raw []float64, eps float64) bool {
+		p := chainFromQuick(raw, eps)
+		sol, err := SolveChain(p)
+		if err != nil {
+			return false
+		}
+		T := p.T()
+		for trial := 0; trial < 20; trial++ {
+			// Random feasible plan: cover each slot's shortfall plus a
+			// random surplus.
+			inv := p.InitialInventory
+			cost := 0.0
+			for tt := 0; tt < T; tt++ {
+				need := math.Max(0, p.Demand[tt]-inv)
+				prod := need
+				if rng.Float64() < 0.5 {
+					prod += rng.Float64() * 2
+				}
+				if prod > 0 {
+					cost += p.Setup[tt] + p.Unit[tt]*prod
+				}
+				inv = inv + prod - p.Demand[tt]
+				cost += p.Hold[tt] * inv
+			}
+			if cost < sol.Cost-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTreeDominatesRandomPlans: same dominance property on scenario
+// trees, with random feasible per-vertex plans.
+func TestQuickTreeDominatesRandomPlans(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	f := func(raw []float64, eps float64) bool {
+		shape := []int{2, 2}
+		if len(raw)%3 == 1 {
+			shape = []int{3, 2}
+		} else if len(raw)%3 == 2 {
+			shape = []int{2, 3}
+		}
+		parent, prob := balancedTree(shape)
+		n := len(parent)
+		p := &TreeProblem{
+			Parent:           parent,
+			Prob:             prob,
+			Setup:            make([]float64, n),
+			Unit:             make([]float64, n),
+			Hold:             make([]float64, n),
+			Demand:           make([]float64, n),
+			InitialInventory: sanitize(eps, 2),
+		}
+		get := func(i int, scale float64) float64 {
+			if i < len(raw) {
+				return sanitize(raw[i], scale)
+			}
+			return scale / 3
+		}
+		for v := 0; v < n; v++ {
+			p.Setup[v] = get(4*v, 4)
+			p.Unit[v] = get(4*v+1, 2)
+			p.Hold[v] = get(4*v+2, 1)
+			p.Demand[v] = get(4*v+3, 2)
+		}
+		sol, err := SolveTree(p)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 10; trial++ {
+			// Random feasible plan: per vertex cover the shortfall plus a
+			// random surplus, walking in topological order.
+			produce := make([]float64, n)
+			invAt := make([]float64, n)
+			cost := 0.0
+			for v := 0; v < n; v++ {
+				prev := p.InitialInventory
+				if v > 0 {
+					prev = invAt[p.Parent[v]]
+				}
+				need := math.Max(0, p.Demand[v]-prev)
+				prod := need
+				if rng.Float64() < 0.5 {
+					prod += rng.Float64()
+				}
+				produce[v] = prod
+				invAt[v] = prev + prod - p.Demand[v]
+				if prod > 0 {
+					cost += p.Prob[v] * p.Setup[v]
+				}
+				cost += p.Prob[v] * (p.Unit[v]*prod + p.Hold[v]*invAt[v])
+			}
+			if cost < sol.Cost-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTreeEpsilonMonotone: increasing the initial inventory never
+// increases the optimal cost beyond the extra carrying charge... in fact
+// with free disposal absent, more ε can cost more in holding; what must
+// hold is monotonicity of the production part: total produced volume is
+// nonincreasing in ε.
+func TestQuickTreeEpsilonMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 40; trial++ {
+		parent, prob := balancedTree([]int{2, 2})
+		p := fillTree(rng, parent, prob, 0)
+		volume := func(eps float64) float64 {
+			q := *p
+			q.InitialInventory = eps
+			sol, err := SolveTree(&q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tot := 0.0
+			for v, a := range sol.Produce {
+				tot += a * p.Prob[v]
+			}
+			return tot
+		}
+		v0 := volume(0)
+		v1 := volume(1.5)
+		if v1 > v0+1e-9 {
+			t.Fatalf("trial %d: production volume grew with ε: %v -> %v", trial, v0, v1)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package lp
+
+import "math"
+
+// evictArtificials pivots zero-valued artificial variables out of the basis
+// after a successful phase 1, replacing them with structural or slack
+// columns. Rows whose artificial cannot be replaced are linearly dependent
+// on the others; their artificial stays basic, permanently fixed at zero.
+func (s *simplex) evictArtificials() {
+	col := make([]float64, s.m)
+	for r := 0; r < s.m; r++ {
+		if s.basis[r] < s.nTot {
+			continue
+		}
+		// Row r of B⁻¹·[A | I]: find a nonbasic, non-fixed column with a
+		// usable pivot entry.
+		found := -1
+		var wFound []float64
+		for j := 0; j < s.nTot && found < 0; j++ {
+			if s.stat[j] == statusBasic || s.lo[j] == s.hi[j] {
+				continue
+			}
+			s.colInto(j, col)
+			e := 0.0
+			row := s.binv[r]
+			for k := 0; k < s.m; k++ {
+				e += row[k] * col[k]
+			}
+			if math.Abs(e) > 1e-7 {
+				found = j
+				wFound = make([]float64, s.m)
+				for i := 0; i < s.m; i++ {
+					wi := 0.0
+					bi := s.binv[i]
+					for k := 0; k < s.m; k++ {
+						wi += bi[k] * col[k]
+					}
+					wFound[i] = wi
+				}
+			}
+		}
+		if found < 0 {
+			// Redundant row: pin the artificial.
+			aj := s.basis[r]
+			s.lo[aj], s.hi[aj] = 0, 0
+			continue
+		}
+		// Degenerate exchange: the artificial sits at zero, so swapping it
+		// for column `found` does not move the primal point. The entering
+		// column keeps its current (bound) value; only the basis and B⁻¹
+		// change. Since x_enter stays put, basic values are unchanged.
+		out := s.basis[r]
+		s.stat[out] = statusAtLower
+		s.xval[out] = 0
+		s.inRow[out] = -1
+		s.lo[out], s.hi[out] = 0, 0
+		s.basis[r] = found
+		s.stat[found] = statusBasic
+		s.inRow[found] = r
+		piv := wFound[r]
+		rowR := s.binv[r]
+		inv := 1 / piv
+		for k := 0; k < s.m; k++ {
+			rowR[k] *= inv
+		}
+		for i := 0; i < s.m; i++ {
+			if i == r {
+				continue
+			}
+			f := wFound[i]
+			if f == 0 {
+				continue
+			}
+			row := s.binv[i]
+			for k := 0; k < s.m; k++ {
+				row[k] -= f * rowR[k]
+			}
+		}
+	}
+	s.refresh()
+}

@@ -1,0 +1,209 @@
+// Package lp provides a dense, bounded-variable, two-phase primal simplex
+// solver for linear programs of the form
+//
+//	minimize    cᵀx
+//	subject to  Aᵢx {≤,=,≥} bᵢ   for every row i
+//	            lⱼ ≤ xⱼ ≤ uⱼ     for every variable j
+//
+// Variable bounds may be infinite (math.Inf). The solver is written for the
+// moderately sized problems produced by the rental-planning models in this
+// repository (hundreds to a few thousand variables); it favours robustness
+// and clarity over sparse-matrix performance.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Rel is the relational operator of a linear constraint row.
+type Rel int8
+
+const (
+	// LE is aᵀx ≤ b.
+	LE Rel = iota
+	// EQ is aᵀx = b.
+	EQ
+	// GE is aᵀx ≥ b.
+	GE
+)
+
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case EQ:
+		return "=="
+	case GE:
+		return ">="
+	}
+	return fmt.Sprintf("Rel(%d)", int8(r))
+}
+
+// Status reports the outcome of a solve.
+type Status int8
+
+const (
+	// StatusOptimal means an optimal basic feasible solution was found.
+	StatusOptimal Status = iota
+	// StatusInfeasible means the constraint system has no feasible point.
+	StatusInfeasible
+	// StatusUnbounded means the objective is unbounded below.
+	StatusUnbounded
+	// StatusIterLimit means the iteration limit was reached first.
+	StatusIterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusIterLimit:
+		return "iteration-limit"
+	}
+	return fmt.Sprintf("Status(%d)", int8(s))
+}
+
+// Problem is a linear program in row-oriented dense form.
+type Problem struct {
+	// C holds the objective coefficients; len(C) is the variable count.
+	C []float64
+	// A holds one dense coefficient row per constraint.
+	A [][]float64
+	// Rel holds the relational operator of each row.
+	Rel []Rel
+	// B holds the right-hand side of each row.
+	B []float64
+	// Lower and Upper hold variable bounds. A nil slice means all zeros
+	// (Lower) or all +Inf (Upper).
+	Lower []float64
+	Upper []float64
+}
+
+// NumVars returns the number of structural variables.
+func (p *Problem) NumVars() int { return len(p.C) }
+
+// NumRows returns the number of constraint rows.
+func (p *Problem) NumRows() int { return len(p.A) }
+
+// Validate checks dimensional consistency and bound sanity.
+func (p *Problem) Validate() error {
+	n := len(p.C)
+	if len(p.A) != len(p.B) || len(p.A) != len(p.Rel) {
+		return fmt.Errorf("lp: row count mismatch: |A|=%d |B|=%d |Rel|=%d", len(p.A), len(p.B), len(p.Rel))
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return fmt.Errorf("lp: row %d has %d coefficients, want %d", i, len(row), n)
+		}
+	}
+	if p.Lower != nil && len(p.Lower) != n {
+		return fmt.Errorf("lp: |Lower|=%d, want %d", len(p.Lower), n)
+	}
+	if p.Upper != nil && len(p.Upper) != n {
+		return fmt.Errorf("lp: |Upper|=%d, want %d", len(p.Upper), n)
+	}
+	for j := 0; j < n; j++ {
+		lo, hi := p.boundsAt(j)
+		if lo > hi {
+			return fmt.Errorf("lp: variable %d has empty bound interval [%g,%g]", j, lo, hi)
+		}
+		if math.IsNaN(lo) || math.IsNaN(hi) {
+			return fmt.Errorf("lp: variable %d has NaN bound", j)
+		}
+	}
+	for i, b := range p.B {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			return fmt.Errorf("lp: row %d has invalid rhs %g", i, b)
+		}
+	}
+	return nil
+}
+
+func (p *Problem) boundsAt(j int) (lo, hi float64) {
+	lo, hi = 0, math.Inf(1)
+	if p.Lower != nil {
+		lo = p.Lower[j]
+	}
+	if p.Upper != nil {
+		hi = p.Upper[j]
+	}
+	return lo, hi
+}
+
+// Clone returns a deep copy of the problem.
+func (p *Problem) Clone() *Problem {
+	q := &Problem{
+		C:   append([]float64(nil), p.C...),
+		B:   append([]float64(nil), p.B...),
+		Rel: append([]Rel(nil), p.Rel...),
+		A:   make([][]float64, len(p.A)),
+	}
+	for i, row := range p.A {
+		q.A[i] = append([]float64(nil), row...)
+	}
+	if p.Lower != nil {
+		q.Lower = append([]float64(nil), p.Lower...)
+	}
+	if p.Upper != nil {
+		q.Upper = append([]float64(nil), p.Upper...)
+	}
+	return q
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status     Status
+	X          []float64 // primal values of the structural variables
+	Obj        float64   // objective value cᵀx
+	Iterations int       // total simplex pivots across both phases
+
+	// Duals holds one shadow price per constraint row at optimality:
+	// Duals[i] is the derivative of the optimal objective with respect to
+	// B[i]. Nil unless Status is StatusOptimal.
+	Duals []float64
+	// FarkasRay is an infeasibility certificate when Status is
+	// StatusInfeasible: a row multiplier vector y with yᵀA "dominated" by
+	// the variable bounds yet yᵀb strictly violating them; concretely, the
+	// phase-1 dual vector whose cut yᵀ(b − Ax) ≤ 0 separates every feasible
+	// right-hand side. Nil otherwise.
+	FarkasRay []float64
+}
+
+// Options tunes the solver. The zero value selects sensible defaults.
+type Options struct {
+	// MaxIter bounds total pivots; ≤0 selects 50·(m+n)+5000.
+	MaxIter int
+	// Tol is the feasibility/optimality tolerance; ≤0 selects 1e-9.
+	Tol float64
+}
+
+func (o Options) withDefaults(m, n int) Options {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 50*(m+n) + 5000
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+	return o
+}
+
+// ErrBadProblem wraps validation failures returned by Solve.
+var ErrBadProblem = errors.New("lp: malformed problem")
+
+// Solve minimises the problem with the default options.
+func Solve(p *Problem) (*Solution, error) { return SolveWithOptions(p, Options{}) }
+
+// SolveWithOptions minimises the problem using the supplied options.
+func SolveWithOptions(p *Problem, opts Options) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadProblem, err)
+	}
+	s := newSimplex(p, opts.withDefaults(p.NumRows(), p.NumVars()))
+	return s.solve()
+}

@@ -1,0 +1,593 @@
+package lp
+
+import "math"
+
+// variable status within the simplex.
+type varStatus int8
+
+const (
+	statusBasic varStatus = iota
+	statusAtLower
+	statusAtUpper
+	statusFree // nonbasic free variable pinned at 0
+)
+
+// simplex is a two-phase bounded-variable primal simplex working on the
+// equality form  [A | I_slack | I_art] x = b.  Column indices:
+//
+//	[0, n)        structural variables
+//	[n, n+m)      slack variables (fixed to 0 for EQ rows)
+//	[n+m, n+2m)   artificial variables (phase 1 only)
+type simplex struct {
+	p    *Problem
+	opts Options
+
+	m, n int // rows, structural variables
+	nTot int // n + m (structural + slack)
+	nAll int // n + 2m (adds artificials)
+
+	lo, hi []float64 // bounds per column, length nAll
+	cost   []float64 // phase-2 cost per column, length nAll
+	artSgn []float64 // ±1 column sign per artificial row
+
+	binv  [][]float64 // m×m basis inverse
+	basis []int       // column index basic in each row
+	inRow []int       // column → basic row, or -1
+	stat  []varStatus // column → status
+	xval  []float64   // column → current value
+
+	// scratch buffers reused across iterations.
+	y, w, acc []float64
+
+	iters      int
+	degenerate int  // consecutive (near-)degenerate pivots
+	bland      bool // anti-cycling mode
+}
+
+func newSimplex(p *Problem, opts Options) *simplex {
+	m, n := p.NumRows(), p.NumVars()
+	s := &simplex{
+		p: p, opts: opts,
+		m: m, n: n, nTot: n + m, nAll: n + 2*m,
+	}
+	s.lo = make([]float64, s.nAll)
+	s.hi = make([]float64, s.nAll)
+	s.cost = make([]float64, s.nAll)
+	s.artSgn = make([]float64, m)
+	for j := 0; j < n; j++ {
+		s.lo[j], s.hi[j] = p.boundsAt(j)
+		s.cost[j] = p.C[j]
+	}
+	for i := 0; i < m; i++ {
+		j := n + i
+		switch p.Rel[i] {
+		case LE:
+			s.lo[j], s.hi[j] = 0, math.Inf(1)
+		case GE:
+			s.lo[j], s.hi[j] = math.Inf(-1), 0
+		case EQ:
+			s.lo[j], s.hi[j] = 0, 0
+		}
+	}
+	// Artificial bounds are assigned in phase 1 setup.
+	s.binv = make([][]float64, m)
+	for i := range s.binv {
+		s.binv[i] = make([]float64, m)
+	}
+	s.basis = make([]int, m)
+	s.inRow = make([]int, s.nAll)
+	s.stat = make([]varStatus, s.nAll)
+	s.xval = make([]float64, s.nAll)
+	s.y = make([]float64, m)
+	s.w = make([]float64, m)
+	s.acc = make([]float64, n)
+	return s
+}
+
+// colInto writes column j of the equality-form matrix into dst.
+func (s *simplex) colInto(j int, dst []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	switch {
+	case j < s.n:
+		for i := 0; i < s.m; i++ {
+			dst[i] = s.p.A[i][j]
+		}
+	case j < s.nTot:
+		dst[j-s.n] = 1
+	default:
+		dst[j-s.nTot] = s.artSgn[j-s.nTot]
+	}
+}
+
+// nonbasicRest returns the value a nonbasic column rests at.
+func (s *simplex) nonbasicRest(j int) (float64, varStatus) {
+	lo, hi := s.lo[j], s.hi[j]
+	switch {
+	case !math.IsInf(lo, -1):
+		return lo, statusAtLower
+	case !math.IsInf(hi, 1):
+		return hi, statusAtUpper
+	default:
+		return 0, statusFree
+	}
+}
+
+func (s *simplex) solve() (*Solution, error) {
+	feasible := s.setupPhase1()
+	if !feasible {
+		st := s.runPhase(true)
+		if st == StatusIterLimit {
+			return s.result(StatusIterLimit), nil
+		}
+		art := 0.0
+		for i := 0; i < s.m; i++ {
+			if s.basis[i] >= s.nTot {
+				art += s.xval[s.basis[i]]
+			}
+		}
+		scale := 1.0
+		for _, b := range s.p.B {
+			if a := math.Abs(b); a > scale {
+				scale = a
+			}
+		}
+		if art > 1e-7*scale {
+			sol := s.result(StatusInfeasible)
+			sol.FarkasRay = s.dualVector(true)
+			return sol, nil
+		}
+		s.evictArtificials()
+	}
+	// Phase 2: lock artificials to zero and restore the true objective.
+	for i := 0; i < s.m; i++ {
+		j := s.nTot + i
+		s.lo[j], s.hi[j] = 0, 0
+		s.cost[j] = 0
+		if s.stat[j] != statusBasic {
+			s.xval[j] = 0
+			s.stat[j] = statusAtLower
+		}
+	}
+	st := s.runPhase(false)
+	sol := s.result(st)
+	if st == StatusOptimal {
+		sol.Duals = s.dualVector(false)
+	}
+	return sol, nil
+}
+
+// dualVector returns y = c_B B⁻¹ for the phase's cost vector: at a phase-2
+// optimum these are the row shadow prices; at a positive phase-1 optimum
+// they form a Farkas-style infeasibility certificate.
+func (s *simplex) dualVector(phase1 bool) []float64 {
+	y := make([]float64, s.m)
+	for i := 0; i < s.m; i++ {
+		cb := s.phaseCost(s.basis[i], phase1)
+		if cb == 0 {
+			continue
+		}
+		row := s.binv[i]
+		for k := 0; k < s.m; k++ {
+			y[k] += cb * row[k]
+		}
+	}
+	return y
+}
+
+// setupPhase1 places nonbasic columns at rest, installs the artificial
+// basis, and reports whether the slack/rest point is already feasible
+// (in which case phase 1 can be skipped entirely).
+func (s *simplex) setupPhase1() bool {
+	// Rest all structural and slack columns.
+	for j := 0; j < s.nTot; j++ {
+		v, st := s.nonbasicRest(j)
+		s.xval[j], s.stat[j] = v, st
+		s.inRow[j] = -1
+	}
+	// Residual r = b − N·x_rest.
+	r := make([]float64, s.m)
+	copy(r, s.p.B)
+	for j := 0; j < s.n; j++ {
+		if v := s.xval[j]; v != 0 {
+			for i := 0; i < s.m; i++ {
+				r[i] -= s.p.A[i][j] * v
+			}
+		}
+	}
+	for i := 0; i < s.m; i++ {
+		if v := s.xval[s.n+i]; v != 0 {
+			r[i] -= v
+		}
+	}
+	// Try the cheap start: absorb the residual into the slack columns
+	// where their bounds allow it, and count what is left over.
+	allFeasible := true
+	for i := 0; i < s.m; i++ {
+		sj := s.n + i
+		want := s.xval[sj] + r[i]
+		if want >= s.lo[sj]-s.opts.Tol && want <= s.hi[sj]+s.opts.Tol {
+			continue
+		}
+		allFeasible = false
+		break
+	}
+	if allFeasible {
+		// Slack basis with slack values set to absorb the residual.
+		for i := 0; i < s.m; i++ {
+			sj := s.n + i
+			s.xval[sj] += r[i]
+			s.basis[i] = sj
+			s.stat[sj] = statusBasic
+			s.inRow[sj] = i
+			for k := 0; k < s.m; k++ {
+				s.binv[i][k] = 0
+			}
+			s.binv[i][i] = 1
+			s.artSgn[i] = 1
+			aj := s.nTot + i
+			s.lo[aj], s.hi[aj] = 0, 0
+			s.xval[aj] = 0
+			s.stat[aj] = statusAtLower
+			s.inRow[aj] = -1
+		}
+		return true
+	}
+	// General start: artificial basis carrying the residual.
+	for i := 0; i < s.m; i++ {
+		aj := s.nTot + i
+		s.artSgn[i] = 1
+		if r[i] < 0 {
+			s.artSgn[i] = -1
+		}
+		s.lo[aj], s.hi[aj] = 0, math.Inf(1)
+		s.xval[aj] = math.Abs(r[i])
+		s.stat[aj] = statusBasic
+		s.basis[i] = aj
+		s.inRow[aj] = i
+		s.inRow[s.n+i] = -1
+		for k := 0; k < s.m; k++ {
+			s.binv[i][k] = 0
+		}
+		s.binv[i][i] = 1 / s.artSgn[i]
+	}
+	return false
+}
+
+// phaseCost returns the active objective coefficient of column j.
+func (s *simplex) phaseCost(j int, phase1 bool) float64 {
+	if phase1 {
+		if j >= s.nTot {
+			return 1
+		}
+		return 0
+	}
+	return s.cost[j]
+}
+
+// runPhase iterates pivots until optimality, unboundedness or limits.
+func (s *simplex) runPhase(phase1 bool) Status {
+	tol := s.opts.Tol
+	for {
+		if s.iters >= s.opts.MaxIter {
+			return StatusIterLimit
+		}
+		// Dual values y = c_B B⁻¹.
+		for k := 0; k < s.m; k++ {
+			s.y[k] = 0
+		}
+		for i := 0; i < s.m; i++ {
+			cb := s.phaseCost(s.basis[i], phase1)
+			if cb == 0 {
+				continue
+			}
+			row := s.binv[i]
+			for k := 0; k < s.m; k++ {
+				s.y[k] += cb * row[k]
+			}
+		}
+		// acc = yᵀA over structural columns (row sweep for locality).
+		for j := 0; j < s.n; j++ {
+			s.acc[j] = 0
+		}
+		for i := 0; i < s.m; i++ {
+			yi := s.y[i]
+			if yi == 0 {
+				continue
+			}
+			row := s.p.A[i]
+			for j := 0; j < s.n; j++ {
+				s.acc[j] += yi * row[j]
+			}
+		}
+		enter, dir := s.priceEntering(phase1, tol)
+		if enter < 0 {
+			return StatusOptimal // no improving column
+		}
+		st := s.pivot(enter, dir, phase1, tol)
+		if st != statusPivotOK {
+			if st == statusPivotUnbounded {
+				return StatusUnbounded
+			}
+			return StatusIterLimit
+		}
+		s.iters++
+	}
+}
+
+// priceEntering selects an entering column and movement direction
+// (+1 increase, −1 decrease), or (-1, 0) at optimality.
+func (s *simplex) priceEntering(phase1 bool, tol float64) (int, float64) {
+	limit := s.nTot // artificials never re-enter
+	bestJ, bestDir, bestScore := -1, 0.0, tol
+	for j := 0; j < limit; j++ {
+		if s.stat[j] == statusBasic || s.lo[j] == s.hi[j] {
+			continue
+		}
+		var d float64
+		if j < s.n {
+			d = s.phaseCost(j, phase1) - s.acc[j]
+		} else {
+			d = s.phaseCost(j, phase1) - s.y[j-s.n]
+		}
+		var dir, score float64
+		switch s.stat[j] {
+		case statusAtLower:
+			if d < -tol {
+				dir, score = 1, -d
+			}
+		case statusAtUpper:
+			if d > tol {
+				dir, score = -1, d
+			}
+		case statusFree:
+			if d < -tol {
+				dir, score = 1, -d
+			} else if d > tol {
+				dir, score = -1, d
+			}
+		}
+		if dir == 0 {
+			continue
+		}
+		if s.bland {
+			return j, dir // first eligible index
+		}
+		if score > bestScore {
+			bestJ, bestDir, bestScore = j, dir, score
+		}
+	}
+	return bestJ, bestDir
+}
+
+type pivotStatus int8
+
+const (
+	statusPivotOK pivotStatus = iota
+	statusPivotUnbounded
+)
+
+// pivot advances the entering column j in direction dir, performing either a
+// bound flip or a basis exchange.
+func (s *simplex) pivot(j int, dir float64, phase1 bool, tol float64) pivotStatus {
+	// w = B⁻¹ A_j.
+	col := make([]float64, s.m)
+	s.colInto(j, col)
+	for i := 0; i < s.m; i++ {
+		wi := 0.0
+		row := s.binv[i]
+		for k := 0; k < s.m; k++ {
+			wi += row[k] * col[k]
+		}
+		s.w[i] = wi
+	}
+	// Ratio test: x_B(t) = x_B − t·dir·w for step t ≥ 0.
+	tMax := math.Inf(1)
+	leave := -1
+	leaveAt := statusAtLower
+	pivTol := 1e-10
+	for i := 0; i < s.m; i++ {
+		g := dir * s.w[i]
+		if math.Abs(g) <= pivTol {
+			continue
+		}
+		bj := s.basis[i]
+		var t float64
+		var hit varStatus
+		if g > 0 { // basic value decreases toward its lower bound
+			if math.IsInf(s.lo[bj], -1) {
+				continue
+			}
+			t = (s.xval[bj] - s.lo[bj]) / g
+			hit = statusAtLower
+		} else { // basic value increases toward its upper bound
+			if math.IsInf(s.hi[bj], 1) {
+				continue
+			}
+			t = (s.xval[bj] - s.hi[bj]) / g
+			hit = statusAtUpper
+		}
+		if t < -tol {
+			t = 0
+		}
+		better := t < tMax-tol
+		tie := !better && t < tMax+tol
+		if better || (tie && s.bland && (leave < 0 || bj < s.basis[leave])) ||
+			(tie && !s.bland && leave >= 0 && math.Abs(s.w[i]) > math.Abs(s.w[leave])) {
+			tMax, leave, leaveAt = math.Max(t, 0), i, hit
+		}
+	}
+	// The entering column itself blocks at its opposite bound.
+	span := s.hi[j] - s.lo[j]
+	if !math.IsInf(span, 1) && span < tMax {
+		// Bound flip: no basis change.
+		t := span
+		for i := 0; i < s.m; i++ {
+			bj := s.basis[i]
+			s.xval[bj] -= t * dir * s.w[i]
+		}
+		if dir > 0 {
+			s.xval[j], s.stat[j] = s.hi[j], statusAtUpper
+		} else {
+			s.xval[j], s.stat[j] = s.lo[j], statusAtLower
+		}
+		s.noteDegeneracy(t, tol)
+		return statusPivotOK
+	}
+	if leave < 0 {
+		return statusPivotUnbounded
+	}
+	t := tMax
+	// Update primal values.
+	for i := 0; i < s.m; i++ {
+		bj := s.basis[i]
+		s.xval[bj] -= t * dir * s.w[i]
+	}
+	out := s.basis[leave]
+	if leaveAt == statusAtLower {
+		s.xval[out], s.stat[out] = s.lo[out], statusAtLower
+	} else {
+		s.xval[out], s.stat[out] = s.hi[out], statusAtUpper
+	}
+	s.inRow[out] = -1
+	s.xval[j] += t * dir
+	s.stat[j] = statusBasic
+	s.basis[leave] = j
+	s.inRow[j] = leave
+	// Product-form update of B⁻¹: pivot on w[leave].
+	piv := s.w[leave]
+	rowR := s.binv[leave]
+	inv := 1 / piv
+	for k := 0; k < s.m; k++ {
+		rowR[k] *= inv
+	}
+	for i := 0; i < s.m; i++ {
+		if i == leave {
+			continue
+		}
+		f := s.w[i]
+		if f == 0 {
+			continue
+		}
+		row := s.binv[i]
+		for k := 0; k < s.m; k++ {
+			row[k] -= f * rowR[k]
+		}
+	}
+	s.noteDegeneracy(t, tol)
+	if s.iters%128 == 127 {
+		s.refresh()
+	}
+	return statusPivotOK
+}
+
+func (s *simplex) noteDegeneracy(t, tol float64) {
+	if t <= tol {
+		s.degenerate++
+		if s.degenerate > 4*(s.m+10) {
+			s.bland = true
+		}
+	} else {
+		s.degenerate = 0
+		s.bland = false
+	}
+}
+
+// refresh refactorises B⁻¹ from scratch and recomputes basic values,
+// containing accumulated floating-point drift.
+func (s *simplex) refresh() {
+	m := s.m
+	// Build the basis matrix and invert via Gauss–Jordan with partial
+	// pivoting. If the basis is (numerically) singular we keep the
+	// incrementally updated inverse.
+	mat := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		mat[i] = make([]float64, 2*m)
+	}
+	col := make([]float64, m)
+	for bi, j := range s.basis {
+		s.colInto(j, col)
+		for i := 0; i < m; i++ {
+			mat[i][bi] = col[i]
+		}
+	}
+	for i := 0; i < m; i++ {
+		mat[i][m+i] = 1
+	}
+	for c := 0; c < m; c++ {
+		p, best := -1, 1e-12
+		for r := c; r < m; r++ {
+			if a := math.Abs(mat[r][c]); a > best {
+				p, best = r, a
+			}
+		}
+		if p < 0 {
+			return // singular: keep current inverse
+		}
+		mat[c], mat[p] = mat[p], mat[c]
+		inv := 1 / mat[c][c]
+		for k := c; k < 2*m; k++ {
+			mat[c][k] *= inv
+		}
+		for r := 0; r < m; r++ {
+			if r == c || mat[r][c] == 0 {
+				continue
+			}
+			f := mat[r][c]
+			for k := c; k < 2*m; k++ {
+				mat[r][k] -= f * mat[c][k]
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		copy(s.binv[i], mat[i][m:])
+	}
+	// Recompute basic values: x_B = B⁻¹ (b − N x_N). Nonbasic slack and
+	// artificial columns always rest at exactly 0 (their only finite bound),
+	// so only structural columns contribute.
+	r := make([]float64, m)
+	copy(r, s.p.B)
+	for j := 0; j < s.n; j++ {
+		if s.stat[j] == statusBasic {
+			continue
+		}
+		v := s.xval[j]
+		if v == 0 {
+			continue
+		}
+		for i := 0; i < m; i++ {
+			r[i] -= s.p.A[i][j] * v
+		}
+	}
+	for i := 0; i < m; i++ {
+		v := 0.0
+		row := s.binv[i]
+		for k := 0; k < m; k++ {
+			v += row[k] * r[k]
+		}
+		s.xval[s.basis[i]] = v
+	}
+}
+
+func (s *simplex) result(st Status) *Solution {
+	sol := &Solution{Status: st, Iterations: s.iters}
+	if st == StatusOptimal || st == StatusIterLimit {
+		sol.X = make([]float64, s.n)
+		obj := 0.0
+		for j := 0; j < s.n; j++ {
+			v := s.xval[j]
+			// Snap to bounds to remove tolerance-scale noise.
+			if !math.IsInf(s.lo[j], -1) && math.Abs(v-s.lo[j]) < 1e-9 {
+				v = s.lo[j]
+			}
+			if !math.IsInf(s.hi[j], 1) && math.Abs(v-s.hi[j]) < 1e-9 {
+				v = s.hi[j]
+			}
+			sol.X[j] = v
+			obj += s.p.C[j] * v
+		}
+		sol.Obj = obj
+	}
+	return sol
+}

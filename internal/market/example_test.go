@@ -1,0 +1,21 @@
+package market_test
+
+import (
+	"fmt"
+
+	"rentplan/internal/market"
+	"rentplan/internal/stats"
+)
+
+// ExampleGenerator_Trace simulates a month of spot-price updates and
+// summarises them the way the paper's Fig. 3 does.
+func ExampleGenerator_Trace() {
+	gen, err := market.NewGenerator(market.C1Medium, 42)
+	if err != nil {
+		panic(err)
+	}
+	trace := gen.Trace(30)
+	f := stats.BoxWhisker(trace.Events.Values())
+	fmt.Printf("median $%.3f, IQR [$%.3f, $%.3f]\n", f.Median, f.Q1, f.Q3)
+	// Output: median $0.060, IQR [$0.059, $0.062]
+}

@@ -1,0 +1,77 @@
+package market
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"rentplan/internal/timeseries"
+)
+
+// WriteTraceCSV serialises a spot trace as "hour,price" rows with a header,
+// the format cmd/spotsim emits and ReadTraceCSV parses. Real price
+// histories (e.g. archived EC2 feeds) can be converted to this format and
+// used everywhere a generated trace is.
+func WriteTraceCSV(w io.Writer, tr *SpotTrace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "hour,price\n"); err != nil {
+		return err
+	}
+	for _, e := range tr.Events.Events {
+		if _, err := fmt.Fprintf(bw, "%g,%g\n", e.Hour, e.Value); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTraceCSV parses a "hour,price" CSV into a spot trace for the given
+// class. Events are sorted by time; Days is derived from the last event.
+func ReadTraceCSV(r io.Reader, class VMClass) (*SpotTrace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	tr := &SpotTrace{Class: class}
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("market: trace csv: %w", err)
+		}
+		line++
+		if line == 1 && strings.EqualFold(strings.TrimSpace(rec[0]), "hour") {
+			continue // header
+		}
+		hour, err := strconv.ParseFloat(strings.TrimSpace(rec[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("market: trace csv line %d: bad hour %q", line, rec[0])
+		}
+		price, err := strconv.ParseFloat(strings.TrimSpace(rec[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("market: trace csv line %d: bad price %q", line, rec[1])
+		}
+		if math.IsNaN(hour) || math.IsInf(hour, 0) || hour < 0 {
+			return nil, fmt.Errorf("market: trace csv line %d: hour %v out of range", line, hour)
+		}
+		if !(price > 0) || math.IsInf(price, 0) {
+			return nil, fmt.Errorf("market: trace csv line %d: price %v must be positive", line, price)
+		}
+		tr.Events.Events = append(tr.Events.Events, timeseries.Event{Hour: hour, Value: price})
+	}
+	if len(tr.Events.Events) == 0 {
+		return nil, fmt.Errorf("market: trace csv contains no events")
+	}
+	tr.Events.Sort()
+	last := tr.Events.Events[len(tr.Events.Events)-1].Hour
+	tr.Days = int(math.Ceil((last + 1e-9) / 24))
+	if tr.Days == 0 {
+		tr.Days = 1
+	}
+	return tr, nil
+}

@@ -1,0 +1,475 @@
+// Package mip provides a branch-and-bound solver for mixed-integer linear
+// programs, built on the bounded-variable simplex in internal/lp. It is the
+// general-purpose optimisation engine behind the DRRP and SRRP planning
+// models: best-bound search with depth-first plunging, most-fractional or
+// pseudo-cost branching, and a rounding primal heuristic.
+package mip
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"rentplan/internal/lp"
+)
+
+// Status reports the outcome of a MILP solve.
+type Status int8
+
+const (
+	// StatusOptimal means an optimal integer solution was proven.
+	StatusOptimal Status = iota
+	// StatusInfeasible means no integer-feasible point exists.
+	StatusInfeasible
+	// StatusUnbounded means the relaxation (and hence the MILP) is unbounded.
+	StatusUnbounded
+	// StatusFeasible means the search stopped at a limit with an incumbent
+	// but without a proof of optimality.
+	StatusFeasible
+	// StatusLimit means the search stopped at a limit with no incumbent.
+	StatusLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusFeasible:
+		return "feasible"
+	case StatusLimit:
+		return "limit"
+	}
+	return fmt.Sprintf("Status(%d)", int8(s))
+}
+
+// BranchRule selects how the fractional branching variable is chosen.
+type BranchRule int8
+
+const (
+	// BranchMostFractional picks the integer variable whose relaxation value
+	// is closest to .5.
+	BranchMostFractional BranchRule = iota
+	// BranchPseudoCost picks the variable with the best observed
+	// degradation history, falling back to most-fractional early on.
+	BranchPseudoCost
+	// BranchFirstFractional picks the lowest-indexed fractional variable.
+	BranchFirstFractional
+)
+
+// Problem is a mixed integer linear program: an LP plus integrality marks.
+type Problem struct {
+	LP *lp.Problem
+	// Integer[j] == true requires variable j to take an integer value.
+	Integer []bool
+}
+
+// Validate checks the MILP for dimensional consistency.
+func (p *Problem) Validate() error {
+	if p.LP == nil {
+		return errors.New("mip: nil LP")
+	}
+	if err := p.LP.Validate(); err != nil {
+		return err
+	}
+	if len(p.Integer) != p.LP.NumVars() {
+		return fmt.Errorf("mip: |Integer|=%d, want %d", len(p.Integer), p.LP.NumVars())
+	}
+	return nil
+}
+
+// Options tunes the branch-and-bound search. Zero value = defaults.
+type Options struct {
+	// MaxNodes bounds explored nodes; ≤0 selects 200000.
+	MaxNodes int
+	// TimeLimit bounds wall time; 0 means none.
+	TimeLimit time.Duration
+	// RelGap is the relative optimality gap at which search stops;
+	// ≤0 selects 1e-9.
+	RelGap float64
+	// IntTol is the integrality tolerance; ≤0 selects 1e-6.
+	IntTol float64
+	// Rule selects the branching rule.
+	Rule BranchRule
+	// DisableHeuristic turns off the rounding primal heuristic.
+	DisableHeuristic bool
+	// LP forwards options to the simplex.
+	LP lp.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxNodes <= 0 {
+		o.MaxNodes = 200000
+	}
+	if o.RelGap <= 0 {
+		o.RelGap = 1e-9
+	}
+	if o.IntTol <= 0 {
+		o.IntTol = 1e-6
+	}
+	return o
+}
+
+// Solution is the result of a MILP solve.
+type Solution struct {
+	Status Status
+	X      []float64
+	Obj    float64
+	// Bound is the best proven lower bound on the optimum.
+	Bound float64
+	// Nodes is the number of branch-and-bound nodes solved.
+	Nodes int
+	// Gap is the final relative gap |Obj−Bound| / max(1,|Obj|).
+	Gap float64
+}
+
+type node struct {
+	lower, upper []float64 // variable bound overrides
+	bound        float64   // parent LP objective (lower bound)
+	depth        int
+
+	// branching provenance, used to update pseudo-costs when the node's own
+	// relaxation is solved. branchVar < 0 at the root.
+	branchVar  int
+	branchUp   bool
+	branchFrac float64 // fractional part of the parent value of branchVar
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].bound < h[j].bound }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Solve minimises the MILP with default options.
+func Solve(p *Problem) (*Solution, error) { return SolveWithOptions(p, Options{}) }
+
+// SolveWithOptions minimises the MILP with the given options.
+func SolveWithOptions(p *Problem, opts Options) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	b := &bnb{p: p, opts: opts, start: time.Now()}
+	return b.run()
+}
+
+type bnb struct {
+	p     *Problem
+	opts  Options
+	start time.Time
+
+	incumbent []float64
+	incObj    float64
+	hasInc    bool
+
+	// pseudo-cost statistics per variable and direction.
+	psUp, psDown     []float64
+	psUpN, psDownN   []int
+	nodes            int
+	work             *lp.Problem // scratch problem with per-node bounds
+	baseLower, baseU []float64
+}
+
+func (b *bnb) run() (*Solution, error) {
+	n := b.p.LP.NumVars()
+	b.psUp = make([]float64, n)
+	b.psDown = make([]float64, n)
+	b.psUpN = make([]int, n)
+	b.psDownN = make([]int, n)
+	b.incObj = math.Inf(1)
+
+	b.work = b.p.LP.Clone()
+	if b.work.Lower == nil {
+		b.work.Lower = make([]float64, n)
+	}
+	if b.work.Upper == nil {
+		b.work.Upper = make([]float64, n)
+		for j := range b.work.Upper {
+			b.work.Upper[j] = math.Inf(1)
+		}
+	}
+	b.baseLower = append([]float64(nil), b.work.Lower...)
+	b.baseU = append([]float64(nil), b.work.Upper...)
+
+	root := &node{
+		lower:     append([]float64(nil), b.work.Lower...),
+		upper:     append([]float64(nil), b.work.Upper...),
+		bound:     math.Inf(-1),
+		branchVar: -1,
+	}
+	open := &nodeHeap{}
+	heap.Init(open)
+	heap.Push(open, root)
+
+	bestBound := math.Inf(-1)
+	limitHit := false
+
+	for open.Len() > 0 {
+		if b.nodes >= b.opts.MaxNodes {
+			limitHit = true
+			break
+		}
+		if b.opts.TimeLimit > 0 && time.Since(b.start) > b.opts.TimeLimit {
+			limitHit = true
+			break
+		}
+		nd := heap.Pop(open).(*node)
+		bestBound = nd.bound
+		if b.hasInc && !improves(nd.bound, b.incObj, b.opts.RelGap) {
+			// Everything left is worse than the incumbent.
+			bestBound = b.incObj
+			break
+		}
+		b.processNode(nd, open)
+	}
+	if open.Len() == 0 && !limitHit {
+		bestBound = b.incObj // search exhausted: incumbent is optimal
+	} else if open.Len() > 0 {
+		// Tighten bound from remaining open nodes.
+		mn := math.Inf(1)
+		for _, nd := range *open {
+			if nd.bound < mn {
+				mn = nd.bound
+			}
+		}
+		if mn < bestBound || math.IsInf(bestBound, -1) {
+			bestBound = math.Max(bestBound, mn)
+		}
+	}
+
+	sol := &Solution{Nodes: b.nodes, Bound: bestBound}
+	switch {
+	case b.hasInc && (!limitHit || !improves(bestBound, b.incObj, b.opts.RelGap)):
+		sol.Status = StatusOptimal
+		sol.X = b.incumbent
+		sol.Obj = b.incObj
+	case b.hasInc:
+		sol.Status = StatusFeasible
+		sol.X = b.incumbent
+		sol.Obj = b.incObj
+	case limitHit:
+		sol.Status = StatusLimit
+	default:
+		sol.Status = StatusInfeasible
+	}
+	if b.hasInc {
+		sol.Gap = math.Abs(sol.Obj-sol.Bound) / math.Max(1, math.Abs(sol.Obj))
+	}
+	return sol, nil
+}
+
+// improves reports whether bound is meaningfully below obj.
+func improves(bound, obj, relGap float64) bool {
+	return bound < obj-relGap*math.Max(1, math.Abs(obj))-1e-12
+}
+
+func (b *bnb) processNode(nd *node, open *nodeHeap) {
+	// Depth-first plunge: repeatedly solve the node and dive onto one child,
+	// pushing the sibling onto the open heap.
+	for {
+		b.nodes++
+		copy(b.work.Lower, nd.lower)
+		copy(b.work.Upper, nd.upper)
+		sol, err := lp.SolveWithOptions(b.work, b.opts.LP)
+		if err != nil || sol.Status == lp.StatusInfeasible {
+			return
+		}
+		if sol.Status == lp.StatusUnbounded {
+			// Relaxation unbounded at the root means MILP unbounded; deeper
+			// nodes inherit the certificate, so prune conservatively.
+			return
+		}
+		if sol.Status == lp.StatusIterLimit {
+			return // treat as prune; bound unknown
+		}
+		if nd.branchVar >= 0 && !math.IsInf(nd.bound, -1) {
+			// Pseudo-cost update: per-unit objective degradation of the
+			// branch that created this node.
+			degr := math.Max(0, sol.Obj-nd.bound)
+			j := nd.branchVar
+			if nd.branchUp {
+				b.psUp[j] += degr / math.Max(1-nd.branchFrac, 1e-9)
+				b.psUpN[j]++
+			} else {
+				b.psDown[j] += degr / math.Max(nd.branchFrac, 1e-9)
+				b.psDownN[j]++
+			}
+		}
+		if b.hasInc && !improves(sol.Obj, b.incObj, b.opts.RelGap) {
+			return // dominated
+		}
+		frac := b.pickBranch(sol.X)
+		if frac < 0 {
+			// Integer feasible.
+			b.offerIncumbent(sol.X, sol.Obj)
+			return
+		}
+		if !b.opts.DisableHeuristic {
+			b.tryRounding(sol.X)
+		}
+		xj := sol.X[frac]
+		fl := math.Floor(xj + b.opts.IntTol)
+		// Children: x_j ≤ fl and x_j ≥ fl+1.
+		fpart := xj - math.Floor(xj)
+		down := &node{
+			lower: append([]float64(nil), nd.lower...),
+			upper: append([]float64(nil), nd.upper...),
+			bound: sol.Obj, depth: nd.depth + 1,
+			branchVar: frac, branchUp: false, branchFrac: fpart,
+		}
+		down.upper[frac] = fl
+		up := &node{
+			lower: append([]float64(nil), nd.lower...),
+			upper: append([]float64(nil), nd.upper...),
+			bound: sol.Obj, depth: nd.depth + 1,
+			branchVar: frac, branchUp: true, branchFrac: fpart,
+		}
+		up.lower[frac] = fl + 1
+
+		// Dive toward the nearer integer, push the sibling.
+		if xj-fl <= 0.5 {
+			heap.Push(open, up)
+			nd = down
+		} else {
+			heap.Push(open, down)
+			nd = up
+		}
+		if b.nodes >= b.opts.MaxNodes {
+			heap.Push(open, nd)
+			return
+		}
+	}
+}
+
+// pickBranch returns the index of the integer variable to branch on, or -1
+// if x is integer feasible.
+func (b *bnb) pickBranch(x []float64) int {
+	tol := b.opts.IntTol
+	best, bestScore := -1, -1.0
+	for j, isInt := range b.p.Integer {
+		if !isInt {
+			continue
+		}
+		f := x[j] - math.Floor(x[j])
+		dist := math.Min(f, 1-f)
+		if dist <= tol {
+			continue
+		}
+		switch b.opts.Rule {
+		case BranchFirstFractional:
+			return j
+		case BranchPseudoCost:
+			up := avg(b.psUp[j], b.psUpN[j])
+			down := avg(b.psDown[j], b.psDownN[j])
+			score := math.Max(up*(1-f), 1e-6) * math.Max(down*f, 1e-6)
+			if b.psUpN[j]+b.psDownN[j] == 0 {
+				score = dist // uninitialised: fall back to fractionality
+			}
+			if score > bestScore {
+				best, bestScore = j, score
+			}
+		default: // most fractional
+			if dist > bestScore {
+				best, bestScore = j, dist
+			}
+		}
+	}
+	return best
+}
+
+func avg(sum float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// offerIncumbent records x if it beats the current incumbent.
+func (b *bnb) offerIncumbent(x []float64, obj float64) {
+	if obj < b.incObj-1e-12 {
+		b.incumbent = append([]float64(nil), x...)
+		// Snap integers exactly.
+		for j, isInt := range b.p.Integer {
+			if isInt {
+				b.incumbent[j] = math.Round(b.incumbent[j])
+			}
+		}
+		b.incObj = obj
+		b.hasInc = true
+	}
+}
+
+// tryRounding rounds the fractional relaxation point and accepts it if it is
+// feasible for the original problem.
+func (b *bnb) tryRounding(x []float64) {
+	cand := append([]float64(nil), x...)
+	for j, isInt := range b.p.Integer {
+		if isInt {
+			cand[j] = math.Round(cand[j])
+			lo, hi := b.baseLower[j], b.baseU[j]
+			if cand[j] < lo {
+				cand[j] = math.Ceil(lo)
+			}
+			if cand[j] > hi {
+				cand[j] = math.Floor(hi)
+			}
+		}
+	}
+	if !b.feasible(cand) {
+		return
+	}
+	obj := 0.0
+	for j, c := range b.p.LP.C {
+		obj += c * cand[j]
+	}
+	if obj < b.incObj-1e-12 {
+		b.incumbent = cand
+		b.incObj = obj
+		b.hasInc = true
+	}
+}
+
+func (b *bnb) feasible(x []float64) bool {
+	const tol = 1e-7
+	for j := range x {
+		if x[j] < b.baseLower[j]-tol || x[j] > b.baseU[j]+tol {
+			return false
+		}
+	}
+	for i, row := range b.p.LP.A {
+		v := 0.0
+		for j := range row {
+			v += row[j] * x[j]
+		}
+		switch b.p.LP.Rel[i] {
+		case lp.LE:
+			if v > b.p.LP.B[i]+tol {
+				return false
+			}
+		case lp.GE:
+			if v < b.p.LP.B[i]-tol {
+				return false
+			}
+		case lp.EQ:
+			if math.Abs(v-b.p.LP.B[i]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}

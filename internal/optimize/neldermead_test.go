@@ -1,0 +1,91 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuadratic(t *testing.T) {
+	f := func(x []float64) float64 {
+		return (x[0]-3)*(x[0]-3) + 2*(x[1]+1)*(x[1]+1)
+	}
+	res, err := Minimize(f, []float64{0, 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-3) > 1e-4 || math.Abs(res.X[1]+1) > 1e-4 {
+		t.Fatalf("x = %v", res.X)
+	}
+	if res.F > 1e-7 {
+		t.Fatalf("f = %v", res.F)
+	}
+}
+
+func TestRosenbrock(t *testing.T) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	res, err := Minimize(f, []float64{-1.2, 1}, Options{MaxEvals: 20000, Restarts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-3 || math.Abs(res.X[1]-1) > 1e-3 {
+		t.Fatalf("x = %v f = %v", res.X, res.F)
+	}
+}
+
+func TestInfeasibleRegions(t *testing.T) {
+	// f is +Inf outside the unit disc; minimum at (0.5, 0).
+	f := func(x []float64) float64 {
+		if x[0]*x[0]+x[1]*x[1] > 1 {
+			return math.Inf(1)
+		}
+		return (x[0] - 0.5) * (x[0] - 0.5)
+	}
+	res, err := Minimize(f, []float64{0, 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-0.5) > 1e-3 {
+		t.Fatalf("x = %v", res.X)
+	}
+}
+
+func TestNaNTreatedAsInf(t *testing.T) {
+	f := func(x []float64) float64 {
+		if x[0] < 0 {
+			return math.NaN()
+		}
+		return x[0] * x[0]
+	}
+	res, err := Minimize(f, []float64{2}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]) > 1e-3 {
+		t.Fatalf("x = %v", res.X)
+	}
+}
+
+func TestEmptyStart(t *testing.T) {
+	if _, err := Minimize(func(x []float64) float64 { return 0 }, nil, Options{}); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestMaxEvalsRespected(t *testing.T) {
+	count := 0
+	f := func(x []float64) float64 {
+		count++
+		return x[0] * x[0]
+	}
+	_, err := Minimize(f, []float64{100}, Options{MaxEvals: 50, Restarts: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count > 60 { // small slack for the simplex completion step
+		t.Fatalf("evals = %d", count)
+	}
+}

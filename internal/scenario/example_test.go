@@ -1,0 +1,27 @@
+package scenario_test
+
+import (
+	"fmt"
+
+	"rentplan/internal/scenario"
+	"rentplan/internal/stats"
+)
+
+// ExampleBuild constructs a two-stage bid-adjusted scenario tree: prices
+// above the bid collapse into an out-of-bid state at the on-demand rate.
+func ExampleBuild() {
+	base := stats.Discrete{
+		Values: []float64{0.056, 0.060, 0.064},
+		Probs:  []float64{0.3, 0.4, 0.3},
+	}
+	tree, err := scenario.Build(base, []float64{0.060}, 0.2, scenario.BuildConfig{
+		Stages:    1,
+		RootPrice: 0.058,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d vertices, stage-1 E[price]=%.4f, P(out-of-bid)=%.1f\n",
+		tree.N(), tree.ExpectedPrice(1), tree.OutOfBidProb(1))
+	// Output: 4 vertices, stage-1 E[price]=0.1008, P(out-of-bid)=0.3
+}

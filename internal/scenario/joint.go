@@ -1,0 +1,103 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+
+	"rentplan/internal/stats"
+)
+
+// BuildJoint builds a scenario tree over *jointly* uncertain prices and
+// demands: each future stage branches over the product of the bid-adjusted
+// price states (Eq. 10) and the given discrete demand states, assumed
+// independent. It returns the tree plus the per-vertex demand realisations,
+// ready for core.SolveSRRPVertexDemands. rootDemand is the known demand of
+// the current slot.
+//
+// This implements the paper's future-work direction of planning under
+// time-varying (uncertain) workloads; with a single demand state it reduces
+// exactly to Build.
+func BuildJoint(base stats.Discrete, bids []float64, onDemand float64, demStates stats.Discrete, rootDemand float64, cfg BuildConfig) (*Tree, []float64, error) {
+	if demStates.Len() == 0 {
+		return nil, nil, errors.New("scenario: empty demand distribution")
+	}
+	for i, d := range demStates.Values {
+		if d < 0 {
+			return nil, nil, fmt.Errorf("scenario: negative demand state %d", i)
+		}
+	}
+	if rootDemand < 0 {
+		return nil, nil, errors.New("scenario: negative root demand")
+	}
+	// Build the price-only tree first to reuse the per-stage sampling and
+	// validation logic, then expand each price branch by the demand states.
+	priceTree, err := Build(base, bids, onDemand, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Collect the per-stage price states from the price tree's first
+	// branch group (stages are homogeneous by construction).
+	type pstate struct {
+		price float64
+		prob  float64
+		oob   bool
+	}
+	stages := make([][]pstate, cfg.Stages)
+	for v := 1; v < priceTree.N(); v++ {
+		if priceTree.Parent[v] != 0 {
+			break
+		}
+		s := 0
+		stages[s] = append(stages[s], pstate{priceTree.Price[v], priceTree.Prob[v], priceTree.OutOfBid[v]})
+	}
+	for s := 1; s < cfg.Stages; s++ {
+		// Find the first vertex of stage s+1 and read its sibling group.
+		var parent = -1
+		for v := 0; v < priceTree.N(); v++ {
+			if priceTree.Stage[v] == s+1 {
+				parent = priceTree.Parent[v]
+				break
+			}
+		}
+		if parent < 0 {
+			return nil, nil, fmt.Errorf("scenario: stage %d missing in price tree", s+1)
+		}
+		pProb := priceTree.Prob[parent]
+		for v := 0; v < priceTree.N(); v++ {
+			if priceTree.Stage[v] == s+1 && priceTree.Parent[v] == parent {
+				stages[s] = append(stages[s], pstate{priceTree.Price[v], priceTree.Prob[v] / pProb, priceTree.OutOfBid[v]})
+			}
+		}
+	}
+
+	tr := &Tree{
+		Parent:   []int{-1},
+		Prob:     []float64{1},
+		Stage:    []int{0},
+		Price:    []float64{cfg.RootPrice},
+		OutOfBid: []bool{false},
+	}
+	dem := []float64{rootDemand}
+	frontier := []int{0}
+	for s := 0; s < cfg.Stages; s++ {
+		var next []int
+		for _, v := range frontier {
+			for _, ps := range stages[s] {
+				for di := range demStates.Values {
+					tr.Parent = append(tr.Parent, v)
+					tr.Prob = append(tr.Prob, tr.Prob[v]*ps.prob*demStates.Probs[di])
+					tr.Stage = append(tr.Stage, s+1)
+					tr.Price = append(tr.Price, ps.price)
+					tr.OutOfBid = append(tr.OutOfBid, ps.oob)
+					dem = append(dem, demStates.Values[di])
+					next = append(next, len(tr.Parent)-1)
+				}
+			}
+		}
+		frontier = next
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("scenario: joint tree invalid: %w", err)
+	}
+	return tr, dem, nil
+}

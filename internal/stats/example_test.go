@@ -1,0 +1,26 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"rentplan/internal/stats"
+)
+
+// ExampleBoxWhisker flags 1.5·IQR outliers, the Fig. 3 rule.
+func ExampleBoxWhisker() {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 50}
+	f := stats.BoxWhisker(xs)
+	fmt.Printf("median=%.1f outliers=%v\n", f.Median, f.Outliers)
+	// Output: median=6.0 outliers=[50]
+}
+
+// ExampleDiscrete_Truncate performs the bid-dependent truncation of Eq. 10.
+func ExampleDiscrete_Truncate() {
+	base := stats.Discrete{
+		Values: []float64{0.056, 0.060, 0.064},
+		Probs:  []float64{0.3, 0.4, 0.3},
+	}
+	kept, outOfBid := base.Truncate(0.060)
+	fmt.Printf("kept %v, out-of-bid mass %.1f\n", kept.Values, outOfBid)
+	// Output: kept [0.056 0.06], out-of-bid mass 0.3
+}

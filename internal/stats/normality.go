@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// TestResult reports a hypothesis-test statistic and p-value.
+type TestResult struct {
+	Stat   float64
+	PValue float64
+}
+
+// Rejects reports whether the null hypothesis is rejected at level alpha.
+func (r TestResult) Rejects(alpha float64) bool { return r.PValue < alpha }
+
+// ShapiroWilk performs the Shapiro–Wilk normality test using Royston's
+// AS R94 approximation, valid for 3 ≤ n ≤ 5000. The null hypothesis is that
+// the sample is drawn from a normal distribution; a small p-value rejects
+// normality. This is the test the paper applies to the spot-price window in
+// Fig. 5.
+func ShapiroWilk(xs []float64) (TestResult, error) {
+	n := len(xs)
+	if n < 3 {
+		return TestResult{}, errors.New("stats: ShapiroWilk needs n >= 3")
+	}
+	if n > 5000 {
+		return TestResult{}, errors.New("stats: ShapiroWilk valid for n <= 5000")
+	}
+	x := append([]float64(nil), xs...)
+	sort.Float64s(x)
+	if x[0] == x[n-1] {
+		return TestResult{}, errors.New("stats: ShapiroWilk needs sample range > 0")
+	}
+
+	// Expected normal order statistics m and their normalisation.
+	m := make([]float64, n)
+	ssm := 0.0
+	for i := 0; i < n; i++ {
+		m[i] = NormalQuantile((float64(i+1) - 0.375) / (float64(n) + 0.25))
+		ssm += m[i] * m[i]
+	}
+	a := make([]float64, n)
+	rsn := 1 / math.Sqrt(float64(n))
+	if n == 3 {
+		a[0] = math.Sqrt(0.5)
+		a[2] = -a[0]
+	} else {
+		// Royston polynomial-corrected weights for the extreme entries.
+		c := make([]float64, n)
+		den := math.Sqrt(ssm)
+		for i := range c {
+			c[i] = m[i] / den
+		}
+		an := polyval([]float64{-2.706056, 4.434685, -2.071190, -0.147981, 0.221157, c[n-1]}, rsn)
+		a[n-1] = an
+		a[0] = -an
+		var phi float64
+		if n > 5 {
+			an1 := polyval([]float64{-3.582633, 5.682633, -1.752461, -0.293762, 0.042981, c[n-2]}, rsn)
+			a[n-2] = an1
+			a[1] = -an1
+			phi = (ssm - 2*m[n-1]*m[n-1] - 2*m[n-2]*m[n-2]) / (1 - 2*an*an - 2*an1*an1)
+			for i := 2; i < n-2; i++ {
+				a[i] = m[i] / math.Sqrt(phi)
+			}
+		} else {
+			phi = (ssm - 2*m[n-1]*m[n-1]) / (1 - 2*an*an)
+			for i := 1; i < n-1; i++ {
+				a[i] = m[i] / math.Sqrt(phi)
+			}
+		}
+	}
+
+	mean := Mean(x)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		num += a[i] * x[i]
+		d := x[i] - mean
+		den += d * d
+	}
+	w := num * num / den
+	if w > 1 {
+		w = 1
+	}
+
+	// p-value via Royston's normalising transformation.
+	var z float64
+	switch {
+	case n == 3:
+		// Exact for n=3: p = (6/π)·(asin(sqrt(W)) − asin(sqrt(0.75))).
+		p := (6 / math.Pi) * (math.Asin(math.Sqrt(w)) - math.Asin(math.Sqrt(0.75)))
+		if p < 0 {
+			p = 0
+		}
+		return TestResult{Stat: w, PValue: p}, nil
+	case n < 12:
+		gamma := -2.273 + 0.459*float64(n)
+		wln := -math.Log(gamma - math.Log1p(-w))
+		mu := polyval([]float64{-0.0006714, 0.025054, -0.39978, 0.5440}, float64(n))
+		sigma := math.Exp(polyval([]float64{-0.0020322, 0.062767, -0.77857, 1.3822}, float64(n)))
+		z = (wln - mu) / sigma
+	default:
+		ln := math.Log(float64(n))
+		wln := math.Log1p(-w)
+		mu := polyval([]float64{0.0038915, -0.083751, -0.31082, -1.5861}, ln)
+		sigma := math.Exp(polyval([]float64{0.0030302, -0.082676, -0.4803}, ln))
+		z = (wln - mu) / sigma
+	}
+	return TestResult{Stat: w, PValue: 1 - NormalCDF(z)}, nil
+}
+
+// polyval evaluates a polynomial with coefficients in descending order.
+func polyval(coef []float64, x float64) float64 {
+	v := 0.0
+	for _, c := range coef {
+		v = v*x + c
+	}
+	return v
+}
+
+// JarqueBera performs the Jarque–Bera normality test. The statistic is
+// asymptotically χ²(2) under the null of normality.
+func JarqueBera(xs []float64) (TestResult, error) {
+	n := len(xs)
+	if n < 8 {
+		return TestResult{}, errors.New("stats: JarqueBera needs n >= 8")
+	}
+	s := Skewness(xs)
+	k := Kurtosis(xs)
+	jb := float64(n) / 6 * (s*s + k*k/4)
+	// χ²(2) survival function is exp(−x/2).
+	return TestResult{Stat: jb, PValue: math.Exp(-jb / 2)}, nil
+}

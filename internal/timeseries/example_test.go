@@ -1,0 +1,38 @@
+package timeseries_test
+
+import (
+	"fmt"
+
+	"rentplan/internal/timeseries"
+)
+
+// ExampleEventSeries_Resample converts an irregular spot-price update feed
+// into the hourly series the paper's analysis uses.
+func ExampleEventSeries_Resample() {
+	es := &timeseries.EventSeries{Events: []timeseries.Event{
+		{Hour: 0.5, Value: 0.060},
+		{Hour: 2.7, Value: 0.062},
+		{Hour: 4.0, Value: 0.058},
+	}}
+	hourly, err := es.Resample(0, 6)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(hourly)
+	// Output: [0.06 0.06 0.06 0.062 0.058 0.058]
+}
+
+// ExampleDecompose recovers a clean seasonal pattern.
+func ExampleDecompose() {
+	season := []float64{1, -1, 0}
+	xs := make([]float64, 30)
+	for t := range xs {
+		xs[t] = 5 + season[t%3]
+	}
+	d, err := timeseries.Decompose(xs, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.0f %.0f %.0f\n", d.Seasonal[0], d.Seasonal[1], d.Seasonal[2])
+	// Output: 1 -1 0
+}
