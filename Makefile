@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test vet race check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The parallel branch-and-bound solver shares state across workers; always
+# race-check it (and everything else) before shipping.
+race:
+	$(GO) test -race ./...
+
+check: vet race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...

@@ -7,8 +7,10 @@ package rentplan_test
 // result in seconds; `cmd/paperrepro` runs the full-scale versions.
 
 import (
+	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"testing"
 
 	"rentplan/internal/arima"
@@ -258,6 +260,35 @@ func BenchmarkAblationSRRPviaMILP(b *testing.B) {
 		if sol.Status != mip.StatusOptimal {
 			b.Fatalf("status %v", sol.Status)
 		}
+	}
+}
+
+// BenchmarkSRRPMILPWorkers measures the parallel branch-and-bound speedup on
+// the SRRP deterministic equivalent: the serial path (Workers=1) against a
+// worker pool sized to the machine.
+func BenchmarkSRRPMILPWorkers(b *testing.B) {
+	par, tree, dem := srrpInstance(b, 3, 3)
+	prob, _, err := core.BuildSRRPMILP(par, tree, dem)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var nodes int
+			for i := 0; i < b.N; i++ {
+				sol, err := mip.SolveWithOptions(prob, mip.Options{
+					MaxNodes: 500000, Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sol.Status != mip.StatusOptimal {
+					b.Fatalf("status %v", sol.Status)
+				}
+				nodes = sol.Nodes
+			}
+			b.ReportMetric(float64(nodes), "bb_nodes")
+		})
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"rentplan/internal/core"
 	"rentplan/internal/demand"
 	"rentplan/internal/market"
+	"rentplan/internal/mip"
 	"rentplan/internal/scenario"
 	"rentplan/internal/spec"
 	"rentplan/internal/stats"
@@ -39,6 +40,8 @@ func main() {
 		days       = flag.Int("days", 60, "SRRP price history length in days")
 		jsonOut    = flag.Bool("json", false, "emit the plan as JSON")
 		specFile   = flag.String("spec", "", "solve a JSON instance file instead of using flags")
+		workers    = flag.Int("workers", 0, "branch-and-bound workers for MILP solves (0 = all cores, 1 = serial)")
+		verbose    = flag.Bool("verbose", false, "stream MILP solver progress to stderr")
 	)
 	flag.Parse()
 
@@ -63,6 +66,10 @@ func main() {
 	par := core.DefaultParams(market.VMClass(*class))
 	par.Phi = *phi
 	par.Epsilon = *epsilon
+	par.Solver.Workers = *workers
+	if *verbose {
+		par.Solver.Progress = printProgress
+	}
 	if _, err := par.OnDemandRate(); err != nil {
 		fatal(err)
 	}
@@ -152,6 +159,18 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown model %q (want drrp or srrp)", *model))
 	}
+}
+
+// printProgress streams one MILP solver snapshot per callback to stderr.
+func printProgress(st mip.Stats) {
+	inc := "-"
+	if st.HasIncumbent {
+		inc = fmt.Sprintf("%.6g", st.Incumbent)
+	}
+	fmt.Fprintf(os.Stderr,
+		"rentplan: mip %7.3fs %8d nodes (%6.0f/s) open %-6d iters %-8d inc %-12s bound %-12.6g gap %.3g\n",
+		st.Elapsed.Seconds(), st.Nodes, st.NodesPerSec, st.OpenNodes,
+		st.SimplexIters, inc, st.Bound, st.Gap)
 }
 
 func maxInt(a, b int) int {

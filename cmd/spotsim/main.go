@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"rentplan/internal/arima"
 	"rentplan/internal/market"
@@ -27,8 +29,14 @@ func main() {
 		analyze = flag.String("analyze", "summary", "analysis: summary, acf, decompose, forecast, none")
 		csv     = flag.String("csv", "", "emit CSV instead of analysis: events or hourly")
 		in      = flag.String("in", "", "read an hour,price CSV trace instead of generating one")
+		workers = flag.Int("workers", 0, "cap the number of CPUs used (0 = all cores)")
+		verbose = flag.Bool("verbose", false, "print per-step wall times to stderr")
 	)
 	flag.Parse()
+	if *workers > 0 {
+		runtime.GOMAXPROCS(*workers)
+	}
+	step := stepTimer(*verbose)
 
 	var tr *market.SpotTrace
 	if *in != "" {
@@ -49,10 +57,12 @@ func main() {
 		}
 		tr = gen.Trace(*days)
 	}
+	step("trace")
 	hourly, err := tr.Hourly(0, *days*24)
 	if err != nil {
 		fatal(err)
 	}
+	step("hourly resample")
 
 	switch *csv {
 	case "events":
@@ -150,6 +160,21 @@ func main() {
 			arima.MSPE(fc.Mean, actual), arima.MSPE(arima.MeanForecast(hist, 24), actual))
 	default:
 		fatal(fmt.Errorf("unknown analysis %q", *analyze))
+	}
+	step("analysis")
+}
+
+// stepTimer returns a closure that, when enabled, prints the wall time of
+// each pipeline step (time since the previous call) to stderr.
+func stepTimer(enabled bool) func(string) {
+	if !enabled {
+		return func(string) {}
+	}
+	last := time.Now()
+	return func(name string) {
+		now := time.Now()
+		fmt.Fprintf(os.Stderr, "spotsim: %-16s %8.3fs\n", name, now.Sub(last).Seconds())
+		last = now
 	}
 }
 

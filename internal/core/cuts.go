@@ -119,7 +119,7 @@ func SolveDRRPCutAndBranch(par Params, prices, dem []float64) (*Plan, *CutStats,
 		}
 	}
 	// Branch and bound on the strengthened model.
-	sol, err := mip.Solve(prob)
+	sol, err := mip.SolveWithOptions(prob, par.Solver)
 	if err != nil {
 		return nil, nil, err
 	}

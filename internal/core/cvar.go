@@ -129,7 +129,11 @@ func SolveSRRPCVaR(par Params, tree *scenario.Tree, dem []float64, lambda, alpha
 	for v := 0; v < n; v++ {
 		ints[ix.Chi(v)] = true
 	}
-	sol, err := mip.SolveWithOptions(&mip.Problem{LP: lpp, Integer: ints}, mip.Options{MaxNodes: 300000})
+	solverOpts := par.Solver
+	if solverOpts.MaxNodes <= 0 {
+		solverOpts.MaxNodes = 300000
+	}
+	sol, err := mip.SolveWithOptions(&mip.Problem{LP: lpp, Integer: ints}, solverOpts)
 	if err != nil {
 		return nil, err
 	}

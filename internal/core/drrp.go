@@ -117,7 +117,7 @@ func solveDRRPMILP(par Params, prices, dem []float64) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	sol, err := mip.Solve(prob)
+	sol, err := mip.SolveWithOptions(prob, par.Solver)
 	if err != nil {
 		return nil, err
 	}

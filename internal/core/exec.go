@@ -61,6 +61,10 @@ type Outcome struct {
 	// counts rented slots served by an on-demand instance because the bid
 	// lost the auction.
 	RentSlots, OutOfBidSlots int
+	// Replans counts how many times a plan was (re)solved while executing
+	// the policy: 1 for the plan-once policies, and one count per
+	// rolling-horizon re-solve for the stochastic/rolling policies.
+	Replans int
 }
 
 // decision is a policy's per-slot output: whether to rent, how much data to
@@ -134,9 +138,13 @@ func RunOracle(cfg *ExecConfig) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	return execute(cfg, func(t int, inv float64) decision {
+	out, err := execute(cfg, func(t int, inv float64) decision {
 		return decision{rent: plan.Chi[t], alpha: plan.Alpha[t], payRate: cfg.Actual[t]}
 	})
+	if err == nil {
+		out.Replans = 1
+	}
+	return out, err
 }
 
 // RunOnDemand evaluates the pure on-demand policy: plan and pay at the
@@ -154,9 +162,13 @@ func RunOnDemand(cfg *ExecConfig) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	return execute(cfg, func(t int, inv float64) decision {
+	out, err := execute(cfg, func(t int, inv float64) decision {
 		return decision{rent: plan.Chi[t], alpha: plan.Alpha[t], payRate: lambda}
 	})
+	if err == nil {
+		out.Replans = 1
+	}
+	return out, err
 }
 
 // RunDeterministic evaluates the DRRP-based spot policy ("det-predict" /
@@ -179,7 +191,7 @@ func RunDeterministic(cfg *ExecConfig, bids []float64) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	return execute(cfg, func(t int, inv float64) decision {
+	out, err := execute(cfg, func(t int, inv float64) decision {
 		rate := cfg.Actual[t]
 		oob := bids[t] < cfg.Actual[t]
 		if oob {
@@ -187,6 +199,10 @@ func RunDeterministic(cfg *ExecConfig, bids []float64) (*Outcome, error) {
 		}
 		return decision{rent: plan.Chi[t], alpha: plan.Alpha[t], payRate: rate, outOfBid: oob}
 	})
+	if err == nil {
+		out.Replans = 1
+	}
+	return out, err
 }
 
 // RunStochastic evaluates the SRRP-based spot policy ("sto-predict" /
@@ -223,13 +239,15 @@ func RunStochastic(cfg *ExecConfig, bids []float64) (*Outcome, error) {
 	var planStart int  // slot of the plan's root
 	var planPath []int // executed vertex path within the plan's tree
 	replanAt := 0
-	return execute(cfg, func(t int, inv float64) decision {
+	replans := 0
+	out, outErr := execute(cfg, func(t int, inv float64) decision {
 		if t >= replanAt || plan == nil {
 			stages := lookahead
 			if t+stages >= T {
 				stages = T - 1 - t
 			}
 			var err2 error
+			replans++
 			plan, err2 = planStochastic(cfg, bids, t, stages, inv)
 			if err2 != nil || plan == nil {
 				// Defensive fallback: just-in-time rental at the spot price.
@@ -265,6 +283,10 @@ func RunStochastic(cfg *ExecConfig, bids []float64) (*Outcome, error) {
 		}
 		return decision{rent: plan.Chi[v], alpha: plan.Alpha[v], payRate: rate, outOfBid: oob}
 	})
+	if outErr == nil {
+		out.Replans = replans
+	}
+	return out, outErr
 }
 
 // planStochastic builds the bid-adjusted tree rooted at slot t and solves

@@ -34,13 +34,15 @@ func RunDeterministicRolling(cfg *ExecConfig, bids []float64) (*Outcome, error) 
 	var plan *Plan
 	planStart := 0
 	replanAt := 0
-	return execute(cfg, func(t int, inv float64) decision {
+	replans := 0
+	out, outErr := execute(cfg, func(t int, inv float64) decision {
 		if t >= replanAt || plan == nil {
 			par := cfg.Par
 			par.Epsilon = inv
 			prices := append([]float64(nil), bids[t:]...)
 			prices[0] = cfg.Actual[t] // the current price is known
 			var err2 error
+			replans++
 			plan, err2 = SolveDRRP(par, prices, cfg.Demand[t:T])
 			if err2 != nil {
 				plan = nil
@@ -60,6 +62,10 @@ func RunDeterministicRolling(cfg *ExecConfig, bids []float64) (*Outcome, error) 
 		}
 		return decision{rent: plan.Chi[k], alpha: plan.Alpha[k], payRate: rate, outOfBid: oob}
 	})
+	if outErr == nil {
+		out.Replans = replans
+	}
+	return out, outErr
 }
 
 // EvaluateStochasticPlanMC estimates the out-of-sample expected cost of a

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"rentplan/internal/market"
+	"rentplan/internal/mip"
 )
 
 // Params collects the per-class model parameters of Table I.
@@ -33,6 +34,12 @@ type Params struct {
 	// disables the constraint. When set with ConsumptionRate > 0, planning
 	// uses the MILP path.
 	Capacity []float64
+	// Solver forwards branch-and-bound options to every MILP solve these
+	// models perform (DRRP/SRRP capacitated paths, cut-and-branch, CVaR).
+	// The zero value selects the mip defaults, including a parallel search
+	// across all cores; set Solver.Workers = 1 to force the serial path or
+	// Solver.Progress to stream solver statistics.
+	Solver mip.Options
 }
 
 // DefaultParams returns the Sec. V-A configuration for a class: Amazon

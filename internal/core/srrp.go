@@ -100,7 +100,7 @@ func solveSRRPMILP(par Params, tree *scenario.Tree, dem []float64) (*StochasticP
 	if err != nil {
 		return nil, err
 	}
-	sol, err := mip.Solve(prob)
+	sol, err := mip.SolveWithOptions(prob, par.Solver)
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,12 @@
 // moderately sized problems produced by the rental-planning models in this
 // repository (hundreds to a few thousand variables); it favours robustness
 // and clarity over sparse-matrix performance.
+//
+// Solve and SolveWithOptions are reentrant: each call allocates a private
+// simplex instance and never mutates the Problem, so concurrent solves of
+// the same (or distinct) Problem values from multiple goroutines are safe
+// as long as no goroutine modifies the Problem meanwhile. The parallel
+// branch-and-bound workers in internal/mip rely on this.
 package lp
 
 import (

@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -520,5 +521,66 @@ func TestIterationLimitStatus(t *testing.T) {
 	}
 	if sol.Duals != nil {
 		t.Fatal("iteration-limited solve must not report duals")
+	}
+}
+
+// TestConcurrentSolvesSharedProblem exercises the documented reentrancy
+// guarantee: many goroutines solving the SAME Problem value concurrently
+// must all find the same optimum without data races (run under -race).
+func TestConcurrentSolvesSharedProblem(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n, m := 12, 8
+	p := &Problem{
+		C: make([]float64, n), A: make([][]float64, m),
+		Rel: make([]Rel, m), B: make([]float64, m),
+		Upper: make([]float64, n),
+	}
+	for j := 0; j < n; j++ {
+		p.C[j] = rng.NormFloat64()
+		p.Upper[j] = 3
+	}
+	for i := 0; i < m; i++ {
+		row := make([]float64, n)
+		s := 0.0
+		for j := range row {
+			row[j] = rng.Float64()
+			s += row[j]
+		}
+		p.A[i], p.Rel[i], p.B[i] = row, LE, s*1.5
+	}
+	ref, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Status != StatusOptimal {
+		t.Fatalf("reference status %v", ref.Status)
+	}
+	const G = 16
+	objs := make([]float64, G)
+	errs := make([]error, G)
+	done := make(chan int, G)
+	for g := 0; g < G; g++ {
+		go func(g int) {
+			sol, err := Solve(p)
+			if err == nil && sol.Status != StatusOptimal {
+				err = errors.New("not optimal")
+			}
+			if err == nil {
+				objs[g] = sol.Obj
+			}
+			errs[g] = err
+			done <- g
+		}(g)
+	}
+	for g := 0; g < G; g++ {
+		<-done
+	}
+	for g := 0; g < G; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if math.Abs(objs[g]-ref.Obj) > eps {
+			t.Fatalf("goroutine %d obj %.9f, want %.9f", g, objs[g], ref.Obj)
+		}
 	}
 }

@@ -1,8 +1,26 @@
-// Package mip provides a branch-and-bound solver for mixed-integer linear
-// programs, built on the bounded-variable simplex in internal/lp. It is the
-// general-purpose optimisation engine behind the DRRP and SRRP planning
-// models: best-bound search with depth-first plunging, most-fractional or
-// pseudo-cost branching, and a rounding primal heuristic.
+// Package mip provides a parallel branch-and-bound solver for mixed-integer
+// linear programs, built on the bounded-variable simplex in internal/lp. It
+// is the general-purpose optimisation engine behind the DRRP and SRRP
+// planning models: best-bound search with depth-first plunging, most-
+// fractional or pseudo-cost branching, and a rounding primal heuristic.
+//
+// # Parallel search
+//
+// Options.Workers sets the worker-pool size (≤0 selects all cores;
+// Workers = 1 preserves the deterministic serial search). Each worker owns
+// a private clone of the LP and its scratch buffers and pulls nodes from a
+// shared best-bound heap; incumbents are published atomically so pruning
+// stays globally correct, and pseudo-cost statistics are shared through
+// per-variable atomic accumulators. The proven optimal objective is
+// identical for every worker count.
+//
+// # Observability
+//
+// Every Solution carries a final Stats snapshot: node throughput, total
+// simplex iterations, the incumbent trajectory with timestamps and bounds
+// (i.e. the gap over time), and per-worker node counts. Set
+// Options.Progress to stream periodic snapshots during the solve; the
+// callback also fires on every incumbent improvement.
 package mip
 
 import (
@@ -10,6 +28,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"rentplan/internal/lp"
@@ -98,6 +119,19 @@ type Options struct {
 	Rule BranchRule
 	// DisableHeuristic turns off the rounding primal heuristic.
 	DisableHeuristic bool
+	// Workers is the number of branch-and-bound workers; ≤0 selects
+	// runtime.GOMAXPROCS(0). Workers = 1 preserves the deterministic
+	// serial search order.
+	Workers int
+	// Progress, when non-nil, receives Stats snapshots: periodically
+	// (every ProgressEvery) and on every incumbent improvement. The
+	// callback is serialised — it is never invoked concurrently — but may
+	// run on any worker goroutine, so it must not call back into the
+	// solver.
+	Progress func(Stats)
+	// ProgressEvery is the minimum interval between periodic Progress
+	// callbacks; ≤0 selects 200ms.
+	ProgressEvery time.Duration
 	// LP forwards options to the simplex.
 	LP lp.Options
 }
@@ -112,6 +146,12 @@ func (o Options) withDefaults() Options {
 	if o.IntTol <= 0 {
 		o.IntTol = 1e-6
 	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.ProgressEvery <= 0 {
+		o.ProgressEvery = 200 * time.Millisecond
+	}
 	return o
 }
 
@@ -120,12 +160,17 @@ type Solution struct {
 	Status Status
 	X      []float64
 	Obj    float64
-	// Bound is the best proven lower bound on the optimum.
+	// Bound is the best proven lower bound on the optimum: the minimum
+	// relaxation bound over the unexplored frontier when a limit stops the
+	// search early, or the incumbent objective once the tree is exhausted.
 	Bound float64
 	// Nodes is the number of branch-and-bound nodes solved.
 	Nodes int
 	// Gap is the final relative gap |Obj−Bound| / max(1,|Obj|).
 	Gap float64
+	// Stats is the final solver-progress snapshot (throughput, simplex
+	// iterations, incumbent trajectory, per-worker node counts).
+	Stats Stats
 }
 
 type node struct {
@@ -163,98 +208,268 @@ func SolveWithOptions(p *Problem, opts Options) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	opts = opts.withDefaults()
-	b := &bnb{p: p, opts: opts, start: time.Now()}
-	return b.run()
+	return newBnB(p, opts.withDefaults()).run(), nil
 }
 
+// atomicFloat64 is a float64 with atomic load and add, used for the shared
+// pseudo-cost accumulators.
+type atomicFloat64 struct{ bits atomic.Uint64 }
+
+func (a *atomicFloat64) Load() float64 { return math.Float64frombits(a.bits.Load()) }
+
+func (a *atomicFloat64) Add(v float64) {
+	for {
+		old := a.bits.Load()
+		if a.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// bnb is the shared search state. The open heap, incumbent, limit flags and
+// per-worker accounting are guarded by mu; the incumbent objective is
+// mirrored in incBits for lock-free pruning reads, and the pseudo-cost
+// tables are per-variable atomic accumulators.
 type bnb struct {
 	p     *Problem
 	opts  Options
 	start time.Time
 
-	incumbent []float64
-	incObj    float64
-	hasInc    bool
+	baseLower, baseUpper []float64 // original variable bounds (nil-expanded)
+	rowAbs               []float64 // Σ_j |A_ij| per row: snap-tolerance scale
 
-	// pseudo-cost statistics per variable and direction.
-	psUp, psDown     []float64
-	psUpN, psDownN   []int
-	nodes            int
-	work             *lp.Problem // scratch problem with per-node bounds
-	baseLower, baseU []float64
+	iters   atomic.Int64  // simplex pivots across all node LPs
+	incBits atomic.Uint64 // float bits of the incumbent objective (+Inf = none)
+
+	psUp, psDown   []atomicFloat64
+	psUpN, psDownN []atomic.Int64
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	open        nodeHeap
+	idle        int  // workers blocked on an empty frontier
+	stopped     bool // terminal: limit, unboundedness or exhaustion
+	limitHit    bool
+	unbounded   bool
+	nodes       int
+	workerNodes []int
+	inflight    []float64 // per-worker bound of the subtree being plunged; +Inf idle
+	incumbent   []float64
+	incObj      float64
+	hasInc      bool
+	history     []IncumbentRecord
+
+	progressMu   sync.Mutex
+	lastProgress time.Time
 }
 
-func (b *bnb) run() (*Solution, error) {
-	n := b.p.LP.NumVars()
-	b.psUp = make([]float64, n)
-	b.psDown = make([]float64, n)
-	b.psUpN = make([]int, n)
-	b.psDownN = make([]int, n)
-	b.incObj = math.Inf(1)
-
-	b.work = b.p.LP.Clone()
-	if b.work.Lower == nil {
-		b.work.Lower = make([]float64, n)
+func newBnB(p *Problem, opts Options) *bnb {
+	n := p.LP.NumVars()
+	b := &bnb{p: p, opts: opts, start: time.Now(), incObj: math.Inf(1)}
+	b.cond = sync.NewCond(&b.mu)
+	b.incBits.Store(math.Float64bits(math.Inf(1)))
+	b.psUp = make([]atomicFloat64, n)
+	b.psDown = make([]atomicFloat64, n)
+	b.psUpN = make([]atomic.Int64, n)
+	b.psDownN = make([]atomic.Int64, n)
+	b.baseLower = make([]float64, n)
+	b.baseUpper = make([]float64, n)
+	for j := range b.baseUpper {
+		b.baseUpper[j] = math.Inf(1)
 	}
-	if b.work.Upper == nil {
-		b.work.Upper = make([]float64, n)
-		for j := range b.work.Upper {
-			b.work.Upper[j] = math.Inf(1)
+	if p.LP.Lower != nil {
+		copy(b.baseLower, p.LP.Lower)
+	}
+	if p.LP.Upper != nil {
+		copy(b.baseUpper, p.LP.Upper)
+	}
+	b.rowAbs = make([]float64, p.LP.NumRows())
+	for i, row := range p.LP.A {
+		s := 0.0
+		for _, a := range row {
+			s += math.Abs(a)
 		}
+		b.rowAbs[i] = s
 	}
-	b.baseLower = append([]float64(nil), b.work.Lower...)
-	b.baseU = append([]float64(nil), b.work.Upper...)
+	b.workerNodes = make([]int, opts.Workers)
+	b.inflight = make([]float64, opts.Workers)
+	for i := range b.inflight {
+		b.inflight[i] = math.Inf(1)
+	}
+	return b
+}
 
+func (b *bnb) run() *Solution {
 	root := &node{
-		lower:     append([]float64(nil), b.work.Lower...),
-		upper:     append([]float64(nil), b.work.Upper...),
+		lower:     append([]float64(nil), b.baseLower...),
+		upper:     append([]float64(nil), b.baseUpper...),
 		bound:     math.Inf(-1),
 		branchVar: -1,
 	}
-	open := &nodeHeap{}
-	heap.Init(open)
-	heap.Push(open, root)
+	heap.Init(&b.open)
+	heap.Push(&b.open, root)
 
-	bestBound := math.Inf(-1)
-	limitHit := false
-
-	for open.Len() > 0 {
-		if b.nodes >= b.opts.MaxNodes {
-			limitHit = true
-			break
+	if w := len(b.workerNodes); w == 1 {
+		b.worker(0) // serial path: no goroutines, deterministic order
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for id := 0; id < w; id++ {
+			go func(id int) {
+				defer wg.Done()
+				b.worker(id)
+			}(id)
 		}
-		if b.opts.TimeLimit > 0 && time.Since(b.start) > b.opts.TimeLimit {
-			limitHit = true
-			break
-		}
-		nd := heap.Pop(open).(*node)
-		bestBound = nd.bound
-		if b.hasInc && !improves(nd.bound, b.incObj, b.opts.RelGap) {
-			// Everything left is worse than the incumbent.
-			bestBound = b.incObj
-			break
-		}
-		b.processNode(nd, open)
+		wg.Wait()
 	}
-	if open.Len() == 0 && !limitHit {
-		bestBound = b.incObj // search exhausted: incumbent is optimal
-	} else if open.Len() > 0 {
-		// Tighten bound from remaining open nodes.
-		mn := math.Inf(1)
-		for _, nd := range *open {
-			if nd.bound < mn {
-				mn = nd.bound
-			}
+	return b.finish()
+}
+
+// worker pulls nodes from the shared frontier until the search terminates.
+// Each worker owns its LP clone, so node bound overrides never race.
+func (b *bnb) worker(id int) {
+	work := b.p.LP.Clone()
+	if work.Lower == nil {
+		work.Lower = append([]float64(nil), b.baseLower...)
+	}
+	if work.Upper == nil {
+		work.Upper = append([]float64(nil), b.baseUpper...)
+	}
+	for {
+		nd := b.next(id)
+		if nd == nil {
+			return
 		}
-		if mn < bestBound || math.IsInf(bestBound, -1) {
-			bestBound = math.Max(bestBound, mn)
+		b.processNode(id, work, nd)
+		b.mu.Lock()
+		b.inflight[id] = math.Inf(1)
+		b.mu.Unlock()
+	}
+}
+
+// next pops the best-bound open node, blocking while the frontier is empty
+// but other workers are still expanding it. It returns nil on termination:
+// limits, unboundedness, or a fully explored tree.
+func (b *bnb) next(id int) *node {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if b.stopped {
+			return nil
+		}
+		if b.nodes >= b.opts.MaxNodes || b.overTime() {
+			b.limitHit = true
+			b.stopLocked()
+			return nil
+		}
+		// Best-bound order: if the cheapest open node cannot beat the
+		// incumbent, neither can any other — the whole frontier is proven
+		// dominated and can be dropped.
+		if len(b.open) > 0 && b.hasInc && !improves(b.open[0].bound, b.incObj, b.opts.RelGap) {
+			b.open = b.open[:0]
+		}
+		if len(b.open) > 0 {
+			nd := heap.Pop(&b.open).(*node)
+			b.inflight[id] = nd.bound
+			return nd
+		}
+		if b.idle == len(b.inflight)-1 {
+			// Every other worker is already waiting on the empty frontier:
+			// the tree is exhausted.
+			b.stopLocked()
+			return nil
+		}
+		b.idle++
+		b.cond.Wait()
+		b.idle--
+	}
+}
+
+func (b *bnb) stopLocked() {
+	b.stopped = true
+	b.cond.Broadcast()
+}
+
+func (b *bnb) overTime() bool {
+	return b.opts.TimeLimit > 0 && time.Since(b.start) > b.opts.TimeLimit
+}
+
+// reserve accounts one node about to be solved, enforcing the node and time
+// limits exactly (the counter never exceeds MaxNodes, for any worker count),
+// and refreshes the worker's in-flight bound so the global bound tightens as
+// a plunge dives (each dived node's bound is valid for its whole subtree).
+func (b *bnb) reserve(id int, nd *node) bool {
+	if b.opts.Progress != nil {
+		b.emitProgress(false)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.stopped {
+		return false
+	}
+	if b.nodes >= b.opts.MaxNodes || b.overTime() {
+		b.limitHit = true
+		b.stopLocked()
+		return false
+	}
+	b.nodes++
+	b.workerNodes[id]++
+	b.inflight[id] = nd.bound
+	return true
+}
+
+func (b *bnb) pushNode(nd *node) {
+	b.mu.Lock()
+	heap.Push(&b.open, nd)
+	b.cond.Signal()
+	b.mu.Unlock()
+}
+
+func (b *bnb) markUnbounded() {
+	b.mu.Lock()
+	b.unbounded = true
+	b.stopLocked()
+	b.mu.Unlock()
+}
+
+// currentIncumbent returns the incumbent objective without taking the lock;
+// a stale read only weakens pruning, never correctness.
+func (b *bnb) currentIncumbent() (float64, bool) {
+	v := math.Float64frombits(b.incBits.Load())
+	return v, !math.IsInf(v, 1)
+}
+
+func (b *bnb) finish() *Solution {
+	// Workers have exited; every interrupted plunge pushed its subtree back,
+	// so the heap holds exactly the unexplored frontier.
+	mn := math.Inf(1)
+	for _, nd := range b.open {
+		if nd.bound < mn {
+			mn = nd.bound
 		}
 	}
-
-	sol := &Solution{Nodes: b.nodes, Bound: bestBound}
+	if len(b.open) == 0 && !b.unbounded {
+		// An empty frontier means the tree was fully explored; a limit that
+		// fired in the same instant proved nothing weaker.
+		b.limitHit = false
+	}
+	var bound float64
 	switch {
-	case b.hasInc && (!limitHit || !improves(bestBound, b.incObj, b.opts.RelGap)):
+	case b.unbounded:
+		bound = math.Inf(-1)
+	case len(b.open) > 0:
+		bound = mn // true minimum over the open frontier
+		if b.hasInc && bound > b.incObj {
+			bound = b.incObj // frontier dominated: the incumbent is the proof
+		}
+	default:
+		bound = b.incObj // +Inf when no incumbent: min over an empty frontier
+	}
+	sol := &Solution{Nodes: b.nodes, Bound: bound}
+	switch {
+	case b.unbounded:
+		sol.Status = StatusUnbounded
+	case b.hasInc && (!b.limitHit || !improves(bound, b.incObj, b.opts.RelGap)):
 		sol.Status = StatusOptimal
 		sol.X = b.incumbent
 		sol.Obj = b.incObj
@@ -262,15 +477,21 @@ func (b *bnb) run() (*Solution, error) {
 		sol.Status = StatusFeasible
 		sol.X = b.incumbent
 		sol.Obj = b.incObj
-	case limitHit:
+	case b.limitHit:
 		sol.Status = StatusLimit
 	default:
 		sol.Status = StatusInfeasible
 	}
 	if b.hasInc {
-		sol.Gap = math.Abs(sol.Obj-sol.Bound) / math.Max(1, math.Abs(sol.Obj))
+		sol.Gap = relGap(sol.Obj, sol.Bound)
 	}
-	return sol, nil
+	b.mu.Lock()
+	st := b.snapshotLocked()
+	b.mu.Unlock()
+	st.Bound = sol.Bound
+	st.Gap = sol.Gap
+	sol.Stats = st
+	return sol
 }
 
 // improves reports whether bound is meaningfully below obj.
@@ -278,24 +499,53 @@ func improves(bound, obj, relGap float64) bool {
 	return bound < obj-relGap*math.Max(1, math.Abs(obj))-1e-12
 }
 
-func (b *bnb) processNode(nd *node, open *nodeHeap) {
-	// Depth-first plunge: repeatedly solve the node and dive onto one child,
-	// pushing the sibling onto the open heap.
+// branchPoint returns the down-branch ceiling fl (children are x ≤ fl and
+// x ≥ fl+1) and the fractional part of xj measured consistently against
+// that same fl, clamped to [0,1]. A value within tol just below an integer
+// therefore yields fpart ≈ 0, never a near-1 artefact that would pollute
+// the pseudo-cost averages.
+func branchPoint(xj, tol float64) (fl, fpart float64) {
+	fl = math.Floor(xj + tol)
+	fpart = xj - fl
+	if fpart < 0 {
+		fpart = 0
+	}
+	if fpart > 1 {
+		fpart = 1
+	}
+	return fl, fpart
+}
+
+// processNode depth-first plunges from nd: repeatedly solve the relaxation
+// and dive onto one child, pushing the sibling onto the shared frontier.
+func (b *bnb) processNode(id int, work *lp.Problem, nd *node) {
 	for {
-		b.nodes++
-		copy(b.work.Lower, nd.lower)
-		copy(b.work.Upper, nd.upper)
-		sol, err := lp.SolveWithOptions(b.work, b.opts.LP)
-		if err != nil || sol.Status == lp.StatusInfeasible {
+		if !b.reserve(id, nd) {
+			// A limit or stop fired mid-plunge: return the unexplored
+			// subtree to the frontier so the final bound stays exact.
+			b.pushNode(nd)
 			return
 		}
-		if sol.Status == lp.StatusUnbounded {
-			// Relaxation unbounded at the root means MILP unbounded; deeper
-			// nodes inherit the certificate, so prune conservatively.
+		copy(work.Lower, nd.lower)
+		copy(work.Upper, nd.upper)
+		sol, err := lp.SolveWithOptions(work, b.opts.LP)
+		if err != nil {
 			return
 		}
-		if sol.Status == lp.StatusIterLimit {
-			return // treat as prune; bound unknown
+		b.iters.Add(int64(sol.Iterations))
+		switch sol.Status {
+		case lp.StatusInfeasible:
+			return
+		case lp.StatusUnbounded:
+			if nd.branchVar < 0 {
+				// Unbounded root relaxation: the MILP itself is unbounded.
+				b.markUnbounded()
+			}
+			// Deeper nodes: prune conservatively — the ray need not respect
+			// this subtree's integrality restrictions.
+			return
+		case lp.StatusIterLimit:
+			return // bound unknown: prune conservatively
 		}
 		if nd.branchVar >= 0 && !math.IsInf(nd.bound, -1) {
 			// Pseudo-cost update: per-unit objective degradation of the
@@ -303,29 +553,26 @@ func (b *bnb) processNode(nd *node, open *nodeHeap) {
 			degr := math.Max(0, sol.Obj-nd.bound)
 			j := nd.branchVar
 			if nd.branchUp {
-				b.psUp[j] += degr / math.Max(1-nd.branchFrac, 1e-9)
-				b.psUpN[j]++
+				b.psUp[j].Add(degr / math.Max(1-nd.branchFrac, b.opts.IntTol))
+				b.psUpN[j].Add(1)
 			} else {
-				b.psDown[j] += degr / math.Max(nd.branchFrac, 1e-9)
-				b.psDownN[j]++
+				b.psDown[j].Add(degr / math.Max(nd.branchFrac, b.opts.IntTol))
+				b.psDownN[j].Add(1)
 			}
 		}
-		if b.hasInc && !improves(sol.Obj, b.incObj, b.opts.RelGap) {
+		if inc, ok := b.currentIncumbent(); ok && !improves(sol.Obj, inc, b.opts.RelGap) {
 			return // dominated
 		}
 		frac := b.pickBranch(sol.X)
 		if frac < 0 {
-			// Integer feasible.
-			b.offerIncumbent(sol.X, sol.Obj)
+			// Integer feasible (within tolerance).
+			b.offerIncumbent(sol.X)
 			return
 		}
 		if !b.opts.DisableHeuristic {
 			b.tryRounding(sol.X)
 		}
-		xj := sol.X[frac]
-		fl := math.Floor(xj + b.opts.IntTol)
-		// Children: x_j ≤ fl and x_j ≥ fl+1.
-		fpart := xj - math.Floor(xj)
+		fl, fpart := branchPoint(sol.X[frac], b.opts.IntTol)
 		down := &node{
 			lower: append([]float64(nil), nd.lower...),
 			upper: append([]float64(nil), nd.upper...),
@@ -342,16 +589,12 @@ func (b *bnb) processNode(nd *node, open *nodeHeap) {
 		up.lower[frac] = fl + 1
 
 		// Dive toward the nearer integer, push the sibling.
-		if xj-fl <= 0.5 {
-			heap.Push(open, up)
+		if fpart <= 0.5 {
+			b.pushNode(up)
 			nd = down
 		} else {
-			heap.Push(open, down)
+			b.pushNode(down)
 			nd = up
-		}
-		if b.nodes >= b.opts.MaxNodes {
-			heap.Push(open, nd)
-			return
 		}
 	}
 }
@@ -374,10 +617,11 @@ func (b *bnb) pickBranch(x []float64) int {
 		case BranchFirstFractional:
 			return j
 		case BranchPseudoCost:
-			up := avg(b.psUp[j], b.psUpN[j])
-			down := avg(b.psDown[j], b.psDownN[j])
+			un, dn := b.psUpN[j].Load(), b.psDownN[j].Load()
+			up := avg(b.psUp[j].Load(), un)
+			down := avg(b.psDown[j].Load(), dn)
 			score := math.Max(up*(1-f), 1e-6) * math.Max(down*f, 1e-6)
-			if b.psUpN[j]+b.psDownN[j] == 0 {
+			if un+dn == 0 {
 				score = dist // uninitialised: fall back to fractionality
 			}
 			if score > bestScore {
@@ -392,26 +636,35 @@ func (b *bnb) pickBranch(x []float64) int {
 	return best
 }
 
-func avg(sum float64, n int) float64 {
+func avg(sum float64, n int64) float64 {
 	if n == 0 {
 		return 0
 	}
 	return sum / float64(n)
 }
 
-// offerIncumbent records x if it beats the current incumbent.
-func (b *bnb) offerIncumbent(x []float64, obj float64) {
-	if obj < b.incObj-1e-12 {
-		b.incumbent = append([]float64(nil), x...)
-		// Snap integers exactly.
-		for j, isInt := range b.p.Integer {
-			if isInt {
-				b.incumbent[j] = math.Round(b.incumbent[j])
-			}
+// offerIncumbent snaps the integer variables of an integral-within-tolerance
+// relaxation point, recomputes the objective of the snapped point, and
+// publishes it if it beats the incumbent. If snapping pushed the point out
+// of feasibility it is rejected rather than recorded with a stale objective,
+// so Solution.Obj always equals cᵀ·Solution.X.
+func (b *bnb) offerIncumbent(x []float64) {
+	cand := append([]float64(nil), x...)
+	for j, isInt := range b.p.Integer {
+		if isInt {
+			cand[j] = math.Round(cand[j])
 		}
-		b.incObj = obj
-		b.hasInc = true
 	}
+	// Snapping moves each integer coordinate by at most IntTol, so allow
+	// row slack proportional to Σ_j |A_ij|.
+	if !b.feasible(cand, true) {
+		return
+	}
+	obj := 0.0
+	for j, c := range b.p.LP.C {
+		obj += c * cand[j]
+	}
+	b.publish(cand, obj)
 }
 
 // tryRounding rounds the fractional relaxation point and accepts it if it is
@@ -421,7 +674,7 @@ func (b *bnb) tryRounding(x []float64) {
 	for j, isInt := range b.p.Integer {
 		if isInt {
 			cand[j] = math.Round(cand[j])
-			lo, hi := b.baseLower[j], b.baseU[j]
+			lo, hi := b.baseLower[j], b.baseUpper[j]
 			if cand[j] < lo {
 				cand[j] = math.Ceil(lo)
 			}
@@ -430,24 +683,54 @@ func (b *bnb) tryRounding(x []float64) {
 			}
 		}
 	}
-	if !b.feasible(cand) {
+	if !b.feasible(cand, false) {
 		return
 	}
 	obj := 0.0
 	for j, c := range b.p.LP.C {
 		obj += c * cand[j]
 	}
-	if obj < b.incObj-1e-12 {
-		b.incumbent = cand
-		b.incObj = obj
-		b.hasInc = true
+	b.publish(cand, obj)
+}
+
+// publish installs x as the incumbent if it improves on the current one,
+// records the trajectory point, and mirrors the objective for lock-free
+// pruning.
+func (b *bnb) publish(x []float64, obj float64) {
+	b.mu.Lock()
+	if obj >= b.incObj-1e-12 {
+		b.mu.Unlock()
+		return
+	}
+	b.incumbent = x
+	b.incObj = obj
+	b.hasInc = true
+	b.incBits.Store(math.Float64bits(obj))
+	rec := IncumbentRecord{
+		Elapsed: time.Since(b.start),
+		Obj:     obj,
+		Bound:   b.boundLocked(),
+		Node:    b.nodes,
+	}
+	rec.Gap = relGap(obj, rec.Bound)
+	b.history = append(b.history, rec)
+	b.mu.Unlock()
+	if b.opts.Progress != nil {
+		b.emitProgress(true)
 	}
 }
 
-func (b *bnb) feasible(x []float64) bool {
-	const tol = 1e-7
+// feasible checks x against the original bounds and rows. With scaled set,
+// tolerances widen proportionally to IntTol (appropriate for points whose
+// integer coordinates were snapped by at most IntTol); otherwise the strict
+// fixed tolerance applies, as for heuristic rounding candidates.
+func (b *bnb) feasible(x []float64, scaled bool) bool {
+	btol := 1e-7
+	if scaled {
+		btol = b.opts.IntTol + 1e-9
+	}
 	for j := range x {
-		if x[j] < b.baseLower[j]-tol || x[j] > b.baseU[j]+tol {
+		if x[j] < b.baseLower[j]-btol || x[j] > b.baseUpper[j]+btol {
 			return false
 		}
 	}
@@ -456,20 +739,80 @@ func (b *bnb) feasible(x []float64) bool {
 		for j := range row {
 			v += row[j] * x[j]
 		}
+		rtol := 1e-7
+		if scaled {
+			rtol += b.opts.IntTol * b.rowAbs[i]
+		}
 		switch b.p.LP.Rel[i] {
 		case lp.LE:
-			if v > b.p.LP.B[i]+tol {
+			if v > b.p.LP.B[i]+rtol {
 				return false
 			}
 		case lp.GE:
-			if v < b.p.LP.B[i]-tol {
+			if v < b.p.LP.B[i]-rtol {
 				return false
 			}
 		case lp.EQ:
-			if math.Abs(v-b.p.LP.B[i]) > tol {
+			if math.Abs(v-b.p.LP.B[i]) > rtol {
 				return false
 			}
 		}
 	}
 	return true
+}
+
+// boundLocked returns the best proven lower bound at this instant: the
+// minimum over the open frontier and every in-flight subtree.
+func (b *bnb) boundLocked() float64 {
+	mn := math.Inf(1)
+	if len(b.open) > 0 {
+		mn = b.open[0].bound
+	}
+	for _, f := range b.inflight {
+		if f < mn {
+			mn = f
+		}
+	}
+	if math.IsInf(mn, 1) && b.hasInc {
+		mn = b.incObj
+	}
+	return mn
+}
+
+func (b *bnb) snapshotLocked() Stats {
+	el := time.Since(b.start)
+	st := Stats{
+		Elapsed:      el,
+		Nodes:        b.nodes,
+		SimplexIters: b.iters.Load(),
+		OpenNodes:    len(b.open),
+		Workers:      len(b.workerNodes),
+		WorkerNodes:  append([]int(nil), b.workerNodes...),
+		HasIncumbent: b.hasInc,
+		Incumbent:    b.incObj,
+		Incumbents:   append([]IncumbentRecord(nil), b.history...),
+	}
+	if s := el.Seconds(); s > 0 {
+		st.NodesPerSec = float64(b.nodes) / s
+	}
+	st.Bound = b.boundLocked()
+	st.Gap = relGap(st.Incumbent, st.Bound)
+	return st
+}
+
+// emitProgress delivers a Stats snapshot to the Progress callback, rate-
+// limited to ProgressEvery unless forced (incumbent improvements). Calls
+// are serialised on progressMu.
+func (b *bnb) emitProgress(force bool) {
+	b.progressMu.Lock()
+	defer b.progressMu.Unlock()
+	now := time.Now()
+	if !force && now.Sub(b.lastProgress) < b.opts.ProgressEvery {
+		return
+	}
+	b.lastProgress = now
+	b.mu.Lock()
+	st := b.snapshotLocked()
+	b.mu.Unlock()
+	b.opts.Progress(st)
 }

@@ -122,10 +122,14 @@ func TestUnboundedMILP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Root relaxation unbounded → pruned with no incumbent → reported as a
-	// limit/infeasible style outcome, never "optimal".
-	if sol.Status == StatusOptimal {
-		t.Fatalf("unbounded reported optimal: %+v", sol)
+	// An unbounded root relaxation of a pure-integer objective means the
+	// MILP itself is unbounded; it must be reported as such, not as
+	// infeasible.
+	if sol.Status != StatusUnbounded {
+		t.Fatalf("status %v, want unbounded: %+v", sol.Status, sol)
+	}
+	if !math.IsInf(sol.Bound, -1) {
+		t.Fatalf("unbounded bound %v, want -Inf", sol.Bound)
 	}
 }
 

@@ -1,0 +1,61 @@
+package mip
+
+import (
+	"math"
+	"time"
+)
+
+// IncumbentRecord is one point of the incumbent trajectory: a new best
+// integer-feasible solution discovered during the search.
+type IncumbentRecord struct {
+	// Elapsed is the wall time since the solve started.
+	Elapsed time.Duration
+	// Obj is the incumbent objective value.
+	Obj float64
+	// Bound is the best proven lower bound at the moment of discovery.
+	Bound float64
+	// Gap is the relative gap |Obj−Bound| / max(1,|Obj|) at discovery.
+	Gap float64
+	// Node is the number of nodes solved when the incumbent was found.
+	Node int
+}
+
+// Stats is a snapshot of branch-and-bound progress. It is delivered to
+// Options.Progress during the search and attached, as a final snapshot, to
+// every Solution.
+type Stats struct {
+	// Elapsed is the wall time since the solve started.
+	Elapsed time.Duration
+	// Nodes is the number of nodes whose relaxation has been solved;
+	// NodesPerSec is the throughput over the whole solve so far.
+	Nodes       int
+	NodesPerSec float64
+	// SimplexIters is the total simplex pivots across every node LP.
+	SimplexIters int64
+	// OpenNodes is the size of the unexplored frontier.
+	OpenNodes int
+	// Workers is the worker-pool size; WorkerNodes holds the per-worker
+	// node counts (index = worker id).
+	Workers     int
+	WorkerNodes []int
+	// HasIncumbent reports whether an integer-feasible point is known;
+	// Incumbent is its objective (+Inf when none).
+	HasIncumbent bool
+	Incumbent    float64
+	// Bound is the best proven lower bound on the optimum and Gap the
+	// relative gap |Incumbent−Bound| / max(1,|Incumbent|).
+	Bound float64
+	Gap   float64
+	// Incumbents is the incumbent trajectory so far; together with the
+	// Bound recorded per entry it traces the gap over time.
+	Incumbents []IncumbentRecord
+}
+
+// relGap returns |obj−bound| / max(1,|obj|), or +Inf when either side is
+// still unknown (infinite).
+func relGap(obj, bound float64) float64 {
+	if math.IsInf(obj, 0) || math.IsInf(bound, 0) {
+		return math.Inf(1)
+	}
+	return math.Abs(obj-bound) / math.Max(1, math.Abs(obj))
+}
