@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench
+.PHONY: build test vet lint race check bench
 
 build:
 	$(GO) build ./...
@@ -11,12 +11,17 @@ test:
 vet:
 	$(GO) vet ./...
 
+# rentlint is the in-tree solver-aware analysis suite (see cmd/rentlint).
+# It exits 1 on any unsuppressed finding, failing the check gate.
+lint:
+	$(GO) run ./cmd/rentlint ./...
+
 # The parallel branch-and-bound solver shares state across workers; always
 # race-check it (and everything else) before shipping.
 race:
 	$(GO) test -race ./...
 
-check: vet race
+check: vet lint race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

@@ -1,0 +1,119 @@
+// Command rentlint runs the solver-aware static-analysis suite of
+// internal/analysis over this module and reports findings with exact
+// file:line:col positions.
+//
+// Usage:
+//
+//	rentlint [-C dir] [-json] [-suppressed] [-list] [patterns ...]
+//
+// Patterns follow the go tool's directory form: "./..." (default),
+// "./internal/lp/..." or "./internal/mip". Exit codes: 0 when clean, 1 when
+// unsuppressed findings exist, 2 on load/type-check errors.
+//
+// Findings are suppressed with a reasoned comment on (or directly above)
+// the offending line:
+//
+//	//lint:ignore rentlint/floatcmp exact zero is a skip-work sentinel
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"rentplan/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rentlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		chdir      = fs.String("C", "", "module root to lint (default: walk up from the working directory)")
+		jsonOut    = fs.Bool("json", false, "emit diagnostics as a JSON array")
+		suppressed = fs.Bool("suppressed", false, "also print findings neutralised by //lint:ignore")
+		list       = fs.Bool("list", false, "list the analyzers and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "rentlint/%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	root := *chdir
+	if root == "" {
+		var err error
+		root, err = findModuleRoot()
+		if err != nil {
+			fmt.Fprintln(stderr, "rentlint:", err)
+			return 2
+		}
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	res, err := analysis.Run(root, patterns, analysis.All())
+	if err != nil {
+		fmt.Fprintln(stderr, "rentlint:", err)
+		return 2
+	}
+	for _, e := range res.Errors {
+		fmt.Fprintln(stderr, "rentlint: load error:", e)
+	}
+	shown := res.Unsuppressed()
+	if *suppressed {
+		shown = res.Diagnostics
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if shown == nil {
+			shown = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(shown); err != nil {
+			fmt.Fprintln(stderr, "rentlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range shown {
+			fmt.Fprintln(stdout, d)
+		}
+		if n := len(res.Unsuppressed()); n > 0 {
+			fmt.Fprintf(stdout, "rentlint: %d finding(s)\n", n)
+		}
+	}
+	switch {
+	case len(res.Errors) > 0:
+		return 2
+	case len(res.Unsuppressed()) > 0:
+		return 1
+	}
+	return 0
+}
+
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

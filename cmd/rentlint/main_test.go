@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rentplan/internal/analysis"
+)
+
+func corpus() string {
+	return filepath.Join("..", "..", "internal", "analysis", "testdata", "lintmod")
+}
+
+// TestJSONExitCode drives the CLI against the corpus module, which contains
+// deliberate findings: -json must emit a parseable array and the process
+// must signal the findings through exit code 1.
+func TestJSONExitCode(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-C", corpus(), "-json", "./..."}, &out, &errBuf)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errBuf.String())
+	}
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, out.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("-json emitted an empty array for a corpus full of findings")
+	}
+	for _, d := range diags {
+		if d.Analyzer == "" || d.File == "" || d.Line <= 0 || d.Col <= 0 {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+		if d.Suppressed {
+			t.Errorf("suppressed diagnostic leaked into the default -json output: %+v", d)
+		}
+	}
+}
+
+// TestSuppressedFlag includes the neutralised findings, which must carry the
+// suppressed marker in JSON.
+func TestSuppressedFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-C", corpus(), "-json", "-suppressed", "./..."}, &out, &errBuf)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errBuf.String())
+	}
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output does not parse: %v", err)
+	}
+	found := false
+	for _, d := range diags {
+		if d.Suppressed {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("-suppressed output contains no suppressed diagnostics")
+	}
+}
+
+// TestPatternScoping restricts the run to one corpus subtree; findings from
+// other directories must not leak through.
+func TestPatternScoping(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-C", corpus(), "-json", "./internal/lotsize/..."}, &out, &errBuf)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errBuf.String())
+	}
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output does not parse: %v", err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics for ./internal/lotsize/...")
+	}
+	for _, d := range diags {
+		if !strings.HasPrefix(d.File, "internal/lotsize/") {
+			t.Errorf("pattern ./internal/lotsize/... leaked diagnostic from %s", d.File)
+		}
+	}
+}
+
+// TestList prints the analyzer roster and exits 0.
+func TestList(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-list"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, errBuf.String())
+	}
+	for _, a := range analysis.All() {
+		if !strings.Contains(out.String(), "rentlint/"+a.Name) {
+			t.Errorf("-list output is missing rentlint/%s:\n%s", a.Name, out.String())
+		}
+	}
+}

@@ -1,0 +1,255 @@
+// Package analysis implements rentlint, a solver-aware static-analysis
+// engine for this repository. It is built purely on the standard library
+// (go/parser, go/ast, go/types with a source importer — no network, no
+// external tooling) and ships six analyzers that guard the numerical and
+// concurrency invariants of the planning stack:
+//
+//   - floatcmp      — exact ==/!=/switch on floating-point operands
+//   - nondeterm     — wall-clock, global math/rand and map-iteration-order
+//     dependence inside the deterministic solver packages
+//   - checkedstatus — ignored lp.Solve / mip.Solve errors and statuses
+//   - synccopy      — sync/atomic values passed or ranged over by value
+//   - tolconst      — magic tolerance literals bypassing internal/num
+//   - nanprop       — unguarded divisions in pivot/ratio-test code
+//
+// Findings can be suppressed with a reasoned comment:
+//
+//	//lint:ignore rentlint/floatcmp exact zero is a skip-work sentinel
+//
+// placed either at the end of the offending line or on the line(s)
+// immediately above it (a doc comment whose last line is the ignore
+// directive also works). The reason is mandatory; a missing reason or an
+// unknown analyzer name is itself reported (as rentlint/badignore).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned at File:Line:Col.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // path relative to the module root
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	// Suppressed marks findings neutralised by a //lint:ignore comment.
+	// They are retained so tooling (and tests) can verify that each
+	// suppression still matches a live finding.
+	Suppressed bool `json:"suppressed,omitempty"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (rentlint/%s)", d.File, d.Line, d.Col, d.Message, d.Analyzer)
+}
+
+// Pass carries one type-checked compilation unit through an analyzer.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// PkgPath is the unit's import path; for external test packages it
+	// carries a "_test" suffix.
+	PkgPath string
+	// Test reports whether the unit includes _test.go files.
+	Test bool
+
+	analyzer *Analyzer
+	engine   *engine
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	file := p.engine.relPath(position.Filename)
+	if !p.analyzer.Tests && strings.HasSuffix(file, "_test.go") {
+		return // analyzer scoped to non-test files
+	}
+	p.engine.diags = append(p.engine.diags, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		File:     file,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// IsFloat reports whether e has floating-point type.
+func (p *Pass) IsFloat(e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// IsConst reports whether e is a compile-time constant.
+func (p *Pass) IsConst(e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// Analyzer is one named check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Tests includes findings located in _test.go files.
+	Tests bool
+	// Paths, when non-nil, restricts the analyzer to units whose import
+	// path (minus any "_test" suffix) has one of these suffixes.
+	Paths []string
+	Run   func(*Pass)
+}
+
+func (a *Analyzer) matches(pkgPath string) bool {
+	if len(a.Paths) == 0 {
+		return true
+	}
+	pkgPath = strings.TrimSuffix(pkgPath, "_test")
+	for _, suf := range a.Paths {
+		if pkgPath == suf || strings.HasSuffix(pkgPath, "/"+suf) {
+			return true
+		}
+	}
+	return false
+}
+
+// All returns the full analyzer suite in deterministic order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		FloatCmp(),
+		NonDeterm(),
+		CheckedStatus(),
+		SyncCopy(),
+		TolConst(),
+		NaNProp(),
+	}
+}
+
+// engine accumulates diagnostics and suppressions for one Run.
+type engine struct {
+	moduleDir string
+	fset      *token.FileSet
+	diags     []Diagnostic
+	// suppress maps file → line → analyzer names suppressed on that line.
+	suppress map[string]map[int][]string
+}
+
+func (e *engine) relPath(abs string) string {
+	if rel := strings.TrimPrefix(abs, e.moduleDir); rel != abs {
+		return strings.TrimPrefix(rel, "/")
+	}
+	return abs
+}
+
+var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)\s*(.*)$`)
+
+var analyzerNames = func() map[string]bool {
+	m := make(map[string]bool)
+	for _, a := range All() {
+		m[a.Name] = true
+	}
+	return m
+}()
+
+// scanSuppressions records every //lint:ignore directive of f. A directive
+// suppresses matching diagnostics on its own line and on the first source
+// line after its comment group (so it works both as a trailing comment and
+// as the last line of a doc comment).
+func (e *engine) scanSuppressions(f *ast.File) {
+	for _, grp := range f.Comments {
+		endLine := e.fset.Position(grp.End()).Line
+		for _, c := range grp.List {
+			m := ignoreRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := e.fset.Position(c.Pos())
+			file := e.relPath(pos.Filename)
+			names, reason := strings.Split(m[1], ","), strings.TrimSpace(m[2])
+			bad := reason == ""
+			var parsed []string
+			for _, n := range names {
+				short, ok := strings.CutPrefix(n, "rentlint/")
+				if !ok || !analyzerNames[short] {
+					bad = true
+					continue
+				}
+				parsed = append(parsed, short)
+			}
+			if bad {
+				e.diags = append(e.diags, Diagnostic{
+					Analyzer: "badignore",
+					File:     file, Line: pos.Line, Col: pos.Column,
+					Message: fmt.Sprintf("malformed %q: want //lint:ignore rentlint/<analyzer>[,...] <reason>", c.Text),
+				})
+			}
+			if len(parsed) == 0 {
+				continue
+			}
+			if e.suppress[file] == nil {
+				e.suppress[file] = make(map[int][]string)
+			}
+			for _, line := range []int{pos.Line, endLine + 1} {
+				e.suppress[file][line] = append(e.suppress[file][line], parsed...)
+			}
+		}
+	}
+}
+
+// applySuppressions marks diagnostics matched by an ignore directive.
+func (e *engine) applySuppressions() {
+	for i := range e.diags {
+		d := &e.diags[i]
+		for _, name := range e.suppress[d.File][d.Line] {
+			if name == d.Analyzer {
+				d.Suppressed = true
+				break
+			}
+		}
+	}
+}
+
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// walkStack is ast.Inspect with an ancestor stack: fn receives the node and
+// its ancestors (outermost first). Returning false prunes the subtree.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false // pruned: Inspect sends no pop for this node
+		}
+		stack = append(stack, n)
+		return true
+	})
+}

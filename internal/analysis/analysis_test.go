@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The corpus under testdata/lintmod is a self-contained module with, for
+// every analyzer, at least one true positive, one true negative and one
+// suppressed finding. Expectations are written as trailing markers:
+//
+//	x == y // want rentlint/floatcmp        an unsuppressed finding here
+//	x == y // wantsup rentlint/floatcmp     a finding neutralised by ignore
+//
+// A line may list several names for several findings. True negatives are
+// asserted implicitly: any diagnostic without a marker fails the test.
+var wantRe = regexp.MustCompile(`// want(sup)?((?: rentlint/[a-z]+)+)`)
+
+type wantKey struct {
+	file string
+	line int
+	name string
+	sup  bool
+}
+
+var corpusOnce = sync.OnceValues(func() (*Result, error) {
+	return Run(filepath.Join("testdata", "lintmod"), nil, All())
+})
+
+func corpusResult(t *testing.T) *Result {
+	t.Helper()
+	res, err := corpusOnce()
+	if err != nil {
+		t.Fatalf("Run(corpus): %v", err)
+	}
+	for _, e := range res.Errors {
+		t.Errorf("corpus load error: %v", e)
+	}
+	return res
+}
+
+func collectWant(t *testing.T, dir string) map[wantKey]int {
+	t.Helper()
+	want := make(map[wantKey]int)
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			sup := m[1] == "sup"
+			for _, name := range strings.Fields(m[2]) {
+				name = strings.TrimPrefix(name, "rentlint/")
+				want[wantKey{rel, i + 1, name, sup}]++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("scanning corpus markers: %v", err)
+	}
+	return want
+}
+
+func TestAnalyzersOnCorpus(t *testing.T) {
+	res := corpusResult(t)
+	want := collectWant(t, filepath.Join("testdata", "lintmod"))
+	if len(want) == 0 {
+		t.Fatal("corpus has no want markers; testdata/lintmod is missing or empty")
+	}
+	got := make(map[wantKey]int)
+	for _, d := range res.Diagnostics {
+		got[wantKey{d.File, d.Line, d.Analyzer, d.Suppressed}]++
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Errorf("%s:%d: want %d ×%s (suppressed=%v), got %d", k.file, k.line, n, k.name, k.sup, got[k])
+		}
+	}
+	for k, n := range got {
+		if want[k] == 0 {
+			t.Errorf("%s:%d: unexpected %s diagnostic ×%d (suppressed=%v)", k.file, k.line, k.name, n, k.sup)
+		}
+	}
+}
+
+// TestEveryAnalyzerCovered guards the corpus itself: each analyzer of the
+// suite (plus badignore) must contribute at least one unsuppressed and —
+// for the six real analyzers — one suppressed finding, so a silently
+// broken analyzer cannot pass as a wall of true negatives.
+func TestEveryAnalyzerCovered(t *testing.T) {
+	res := corpusResult(t)
+	live := make(map[string]bool)
+	supp := make(map[string]bool)
+	for _, d := range res.Diagnostics {
+		if d.Suppressed {
+			supp[d.Analyzer] = true
+		} else {
+			live[d.Analyzer] = true
+		}
+	}
+	for _, a := range All() {
+		if !live[a.Name] {
+			t.Errorf("corpus has no unsuppressed %s finding", a.Name)
+		}
+		if !supp[a.Name] {
+			t.Errorf("corpus has no suppressed %s finding (suppression path untested)", a.Name)
+		}
+	}
+	if !live["badignore"] {
+		t.Error("corpus has no badignore finding")
+	}
+}
+
+// TestExactPosition pins one diagnostic to an exact line and column: the
+// first floatcmp marker of internal/app/floatcmp.go sits on "return a == b"
+// (one tab, then "return "), so the comparison starts at column 9.
+func TestExactPosition(t *testing.T) {
+	res := corpusResult(t)
+	const file = "internal/app/floatcmp.go"
+	wantLine := 0
+	data, err := os.ReadFile(filepath.Join("testdata", "lintmod", file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.Contains(line, "// want rentlint/floatcmp") {
+			wantLine = i + 1
+			break
+		}
+	}
+	if wantLine == 0 {
+		t.Fatalf("no floatcmp marker in %s", file)
+	}
+	for _, d := range res.Diagnostics {
+		if d.File == file && d.Analyzer == "floatcmp" && d.Line == wantLine {
+			if d.Col != 9 {
+				t.Errorf("floatcmp at %s:%d: col = %d, want 9", file, d.Line, d.Col)
+			}
+			wantStr := "internal/app/floatcmp.go:" + strconv.Itoa(d.Line) + ":9: "
+			if !strings.HasPrefix(d.String(), wantStr) || !strings.HasSuffix(d.String(), "(rentlint/floatcmp)") {
+				t.Errorf("String() = %q, want %q prefix and (rentlint/floatcmp) suffix", d.String(), wantStr)
+			}
+			return
+		}
+	}
+	t.Fatalf("no floatcmp diagnostic at %s:%d", file, wantLine)
+}

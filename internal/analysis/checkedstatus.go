@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CheckedStatus flags call sites of lp.Solve / lp.SolveWithOptions /
+// mip.Solve / mip.SolveWithOptions that discard the outcome: the whole
+// result ignored, the error assigned to the blank identifier, or a Solution
+// whose fields are consumed without its Status ever being read in the same
+// function. A non-optimal status silently treated as optimal corrupts every
+// downstream plan, so the status must be checked (or the call site annotated
+// when the check provably happens elsewhere).
+func CheckedStatus() *Analyzer {
+	a := &Analyzer{
+		Name: "checkedstatus",
+		Doc:  "ignored lp.Solve/mip.Solve status or error returns",
+	}
+	a.Run = func(p *Pass) {
+		for _, f := range p.Files {
+			walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := n.X.(*ast.CallExpr); ok {
+						if name := solveCallName(p, call); name != "" {
+							p.Reportf(n.Pos(), "result of %s ignored: both the Solution status and the error are discarded", name)
+						}
+					}
+				case *ast.GoStmt:
+					if name := solveCallName(p, n.Call); name != "" {
+						p.Reportf(n.Pos(), "result of %s ignored in go statement", name)
+					}
+				case *ast.DeferStmt:
+					if name := solveCallName(p, n.Call); name != "" {
+						p.Reportf(n.Pos(), "result of %s ignored in defer statement", name)
+					}
+				case *ast.AssignStmt:
+					checkSolveAssign(p, n, stack)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// solveCallName returns "lp.Solve"-style names for calls to the solver
+// entry points, or "" for any other call.
+func solveCallName(p *Pass, call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return ""
+	}
+	obj, ok := p.Info.Uses[id].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return ""
+	}
+	if sig, ok := obj.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return ""
+	}
+	if obj.Name() != "Solve" && obj.Name() != "SolveWithOptions" {
+		return ""
+	}
+	path := strings.TrimSuffix(obj.Pkg().Path(), "_test")
+	for _, suf := range []string{"internal/lp", "internal/mip"} {
+		if path == suf || strings.HasSuffix(path, "/"+suf) {
+			return obj.Pkg().Name() + "." + obj.Name()
+		}
+	}
+	return ""
+}
+
+func checkSolveAssign(p *Pass, n *ast.AssignStmt, stack []ast.Node) {
+	if len(n.Rhs) != 1 || len(n.Lhs) != 2 {
+		return
+	}
+	call, ok := n.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name := solveCallName(p, call)
+	if name == "" {
+		return
+	}
+	solID, _ := n.Lhs[0].(*ast.Ident)
+	errID, _ := n.Lhs[1].(*ast.Ident)
+	if errID != nil && errID.Name == "_" {
+		p.Reportf(errID.Pos(), "error return of %s assigned to blank identifier", name)
+	}
+	if solID == nil {
+		return
+	}
+	if solID.Name == "_" {
+		p.Reportf(solID.Pos(), "Solution of %s assigned to blank identifier: its Status is never examined", name)
+		return
+	}
+	obj := p.Info.Defs[solID]
+	if obj == nil {
+		obj = p.Info.Uses[solID]
+	}
+	if obj == nil {
+		return
+	}
+	fn := enclosingFunc(stack)
+	if fn == nil {
+		return
+	}
+	if usedWithoutStatus(p, fn, obj, solID) {
+		p.Reportf(solID.Pos(), "Solution of %s is consumed but its Status is never checked in this function", name)
+	}
+}
+
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// usedWithoutStatus reports whether obj is consumed inside fn purely through
+// field selections that never include .Status. Any bare (non-selector) use —
+// passing the solution along, returning it, comparing it to nil — counts as
+// escaping to a context that may check the status, and disarms the report.
+func usedWithoutStatus(p *Pass, fn ast.Node, obj types.Object, def *ast.Ident) bool {
+	fieldUses, statusRead, escapes := 0, false, false
+	walkStack(fn, func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id == def || p.Info.Uses[id] != obj {
+			return true
+		}
+		if len(stack) > 0 {
+			if sel, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && sel.X == id {
+				fieldUses++
+				if sel.Sel.Name == "Status" {
+					statusRead = true
+				}
+				return true
+			}
+		}
+		escapes = true
+		return true
+	})
+	return fieldUses > 0 && !statusRead && !escapes
+}

@@ -1,0 +1,45 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatCmp flags exact ==/!= comparisons and switch statements on
+// floating-point operands. Exact float equality silently breaks the
+// Wagner–Whitin / SRRP optimality invariants whenever the compared values
+// carry rounding noise; comparisons must either go through the tolerance
+// helpers in internal/num or carry a //lint:ignore justification for the
+// (rare) deliberate exact sentinel checks. Constant-only comparisons are
+// exempt, and test files are not checked.
+func FloatCmp() *Analyzer {
+	a := &Analyzer{
+		Name: "floatcmp",
+		Doc:  "exact ==/!=/switch on floating-point operands",
+	}
+	a.Run = func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					if n.Op != token.EQL && n.Op != token.NEQ {
+						return true
+					}
+					if !p.IsFloat(n.X) && !p.IsFloat(n.Y) {
+						return true
+					}
+					if p.IsConst(n.X) && p.IsConst(n.Y) {
+						return true // compile-time comparison is exact by definition
+					}
+					p.Reportf(n.Pos(), "exact floating-point %s comparison; use internal/num helpers or annotate the exact sentinel", n.Op)
+				case *ast.SwitchStmt:
+					if n.Tag != nil && p.IsFloat(n.Tag) {
+						p.Reportf(n.Tag.Pos(), "switch on a floating-point value compares exactly; rewrite with tolerance comparisons")
+					}
+				}
+				return true
+			})
+		}
+	}
+	return a
+}

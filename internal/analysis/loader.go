@@ -1,0 +1,316 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Result is the outcome of one Run over a module.
+type Result struct {
+	// Diagnostics is sorted by position and includes suppressed findings
+	// (marked Suppressed). Callers gate CI on the unsuppressed subset.
+	Diagnostics []Diagnostic
+	// Errors holds load or type-check failures. Analysis of unaffected
+	// packages still proceeds, but a non-empty slice means the diagnostics
+	// may be incomplete.
+	Errors []error
+}
+
+// Unsuppressed returns the findings not neutralised by //lint:ignore.
+func (r *Result) Unsuppressed() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diagnostics {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Run parses and type-checks every package of the module rooted at
+// moduleDir (using only the standard library: a source importer resolves
+// std dependencies from GOROOT, and module-internal imports resolve
+// straight from the module tree), then applies the analyzers. Patterns
+// restrict reported diagnostics by directory: "./..." (everything, the
+// default), "./dir/..." (subtree) or "./dir" (exact package directory).
+func Run(moduleDir string, patterns []string, analyzers []*Analyzer) (*Result, error) {
+	moduleDir, err := filepath.Abs(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	modulePath, err := readModulePath(filepath.Join(moduleDir, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	l := &loader{
+		fset:       token.NewFileSet(),
+		moduleDir:  moduleDir,
+		modulePath: modulePath,
+		cache:      make(map[string]*types.Package),
+		loading:    make(map[string]bool),
+	}
+	l.std = importer.ForCompiler(l.fset, "source", nil)
+
+	dirs, err := l.packageDirs()
+	if err != nil {
+		return nil, err
+	}
+	eng := &engine{
+		moduleDir: moduleDir,
+		fset:      l.fset,
+		suppress:  make(map[string]map[int][]string),
+	}
+	res := &Result{}
+	for _, rel := range dirs {
+		for _, unit := range l.unitsFor(rel) {
+			if len(unit.files) == 0 {
+				continue
+			}
+			pkg, info, errs := l.check(unit.path, unit.files)
+			res.Errors = append(res.Errors, errs...)
+			if pkg == nil {
+				continue
+			}
+			for _, f := range unit.files {
+				eng.scanSuppressions(f)
+			}
+			for _, a := range analyzers {
+				if !a.matches(unit.path) {
+					continue
+				}
+				a.Run(&Pass{
+					Fset: l.fset, Files: unit.files, Pkg: pkg, Info: info,
+					PkgPath: unit.path, Test: unit.test,
+					analyzer: a, engine: eng,
+				})
+			}
+		}
+	}
+	eng.applySuppressions()
+	res.Diagnostics = filterPatterns(eng.diags, patterns)
+	sortDiags(res.Diagnostics)
+	return res, nil
+}
+
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// filterPatterns keeps diagnostics whose file matches any pattern.
+func filterPatterns(ds []Diagnostic, patterns []string) []Diagnostic {
+	if len(patterns) == 0 {
+		return ds
+	}
+	match := func(file string) bool {
+		dir := filepath.ToSlash(filepath.Dir(file))
+		for _, p := range patterns {
+			p = strings.TrimPrefix(filepath.ToSlash(p), "./")
+			switch {
+			case p == "..." || p == ".":
+				return true
+			case strings.HasSuffix(p, "/..."):
+				root := strings.TrimSuffix(p, "/...")
+				if dir == root || strings.HasPrefix(dir, root+"/") {
+					return true
+				}
+			case dir == p:
+				return true
+			}
+		}
+		return false
+	}
+	var out []Diagnostic
+	for _, d := range ds {
+		if match(d.File) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+type loader struct {
+	fset       *token.FileSet
+	moduleDir  string
+	modulePath string
+	std        types.Importer
+	cache      map[string]*types.Package // lib variants, by import path
+	loading    map[string]bool           // cycle guard
+}
+
+// unit is one compilation unit: a set of files type-checked together.
+type unit struct {
+	path  string // import path ("_test"-suffixed for external test pkgs)
+	files []*ast.File
+	test  bool
+}
+
+// packageDirs returns the module-relative directories holding Go files, in
+// deterministic order. Nested modules, testdata and hidden directories are
+// skipped, matching the go tool's ./... expansion.
+func (l *loader) packageDirs() ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.moduleDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.moduleDir {
+			if strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" {
+				return filepath.SkipDir
+			}
+			if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+				return filepath.SkipDir // nested module
+			}
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				rel, _ := filepath.Rel(l.moduleDir, path)
+				dirs = append(dirs, filepath.ToSlash(rel))
+				break
+			}
+		}
+		return nil
+	})
+	sort.Strings(dirs)
+	return dirs, err
+}
+
+func (l *loader) importPathFor(relDir string) string {
+	if relDir == "." {
+		return l.modulePath
+	}
+	return l.modulePath + "/" + relDir
+}
+
+// parseDir parses the directory's Go files into lib, in-package test and
+// external test groups, in sorted filename order.
+func (l *loader) parseDir(dir string) (lib, test, xtest []*ast.File, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f, perr := parser.ParseFile(l.fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if perr != nil {
+			return nil, nil, nil, perr
+		}
+		switch {
+		case strings.HasSuffix(n, "_test.go") && strings.HasSuffix(f.Name.Name, "_test"):
+			xtest = append(xtest, f)
+		case strings.HasSuffix(n, "_test.go"):
+			test = append(test, f)
+		default:
+			lib = append(lib, f)
+		}
+	}
+	return lib, test, xtest, nil
+}
+
+// unitsFor builds the compilation units to analyze for one directory: the
+// widest in-package unit (lib + in-package tests, so every file is analyzed
+// exactly once) and, separately, the external test package.
+func (l *loader) unitsFor(relDir string) []unit {
+	path := l.importPathFor(relDir)
+	lib, test, xtest, err := l.parseDir(filepath.Join(l.moduleDir, filepath.FromSlash(relDir)))
+	if err != nil {
+		// Surface the parse error through a placeholder unit check.
+		return []unit{{path: path, files: nil}}
+	}
+	var units []unit
+	units = append(units, unit{path: path, files: append(append([]*ast.File(nil), lib...), test...), test: len(test) > 0})
+	if len(xtest) > 0 {
+		units = append(units, unit{path: path + "_test", files: xtest, test: true})
+	}
+	return units
+}
+
+// check type-checks one unit with full type info.
+func (l *loader) check(path string, files []*ast.File) (*types.Package, *types.Info, []error) {
+	var errs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil && len(errs) == 0 {
+		errs = append(errs, err)
+	}
+	return pkg, info, errs
+}
+
+// Import implements types.Importer: module-internal paths resolve from the
+// module tree (lib files only, as the go tool compiles them for import),
+// everything else falls through to the GOROOT source importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path != l.modulePath && !strings.HasPrefix(path, l.modulePath+"/") {
+		return l.std.Import(path)
+	}
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	relDir := "."
+	if path != l.modulePath {
+		relDir = strings.TrimPrefix(path, l.modulePath+"/")
+	}
+	lib, _, _, err := l.parseDir(filepath.Join(l.moduleDir, filepath.FromSlash(relDir)))
+	if err != nil {
+		return nil, err
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, lib, nil)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[path] = pkg
+	return pkg, nil
+}

@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// NaNProp flags floating-point divisions in the pivot/ratio-test packages
+// (internal/lp, internal/mip) whose denominator is not visibly guarded. A
+// zero denominator manufactures ±Inf or NaN, which then propagates through
+// B⁻¹ updates and bound computations without tripping any comparison, so
+// every division must either
+//
+//   - have a constant nonzero denominator,
+//   - use the math.Max(x, tol) flooring idiom as its denominator, or
+//   - appear in a function where some if/for/switch condition mentions the
+//     denominator expression (or a sub-expression of it) — the zero/NaN
+//     guard.
+//
+// The guard detection is syntactic and function-local; divisions whose
+// denominator is proven nonzero by construction should carry a reasoned
+// //lint:ignore annotation instead.
+func NaNProp() *Analyzer {
+	a := &Analyzer{
+		Name:  "nanprop",
+		Doc:   "unguarded floating-point division in pivot/ratio-test code",
+		Paths: []string{"internal/lp", "internal/mip"},
+	}
+	a.Run = func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				body := funcBody(n)
+				if body == nil {
+					return true
+				}
+				guards := conditionSubexprs(body)
+				ast.Inspect(body, func(m ast.Node) bool {
+					if _, isFn := m.(*ast.FuncLit); isFn {
+						return false // nested literals are visited (with their own guards) by the outer walk
+					}
+					div, ok := m.(*ast.BinaryExpr)
+					if !ok || div.Op != token.QUO || !p.IsFloat(div.X) && !p.IsFloat(div.Y) {
+						return true
+					}
+					if guardedDenominator(p, div.Y, guards) {
+						return true
+					}
+					p.Reportf(div.Pos(), "division denominator %q has no zero/NaN guard in this function; guard it, floor it with math.Max, or annotate why it is nonzero by construction", exprString(div.Y))
+					return true
+				})
+				return true // keep walking: nested function literals
+			})
+		}
+	}
+	return a
+}
+
+func funcBody(n ast.Node) *ast.BlockStmt {
+	switch n := n.(type) {
+	case *ast.FuncDecl:
+		return n.Body
+	case *ast.FuncLit:
+		return n.Body
+	}
+	return nil
+}
+
+// conditionSubexprs collects the string form of every sub-expression
+// appearing in an if/for condition or switch tag/case of body.
+func conditionSubexprs(body *ast.BlockStmt) map[string]bool {
+	set := make(map[string]bool)
+	add := func(e ast.Expr) {
+		if e == nil {
+			return
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			if sub, ok := n.(ast.Expr); ok {
+				set[exprString(sub)] = true
+			}
+			return true
+		})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			add(n.Cond)
+		case *ast.ForStmt:
+			add(n.Cond)
+		case *ast.SwitchStmt:
+			add(n.Tag)
+		case *ast.CaseClause:
+			for _, e := range n.List {
+				add(e)
+			}
+		}
+		return true
+	})
+	return set
+}
+
+// guardedDenominator reports whether den is acceptably guarded: a nonzero
+// constant, a math.Max(...) floor, or any of its key expressions appearing
+// in a condition of the enclosing function.
+func guardedDenominator(p *Pass, den ast.Expr, guards map[string]bool) bool {
+	if tv, ok := p.Info.Types[den]; ok && tv.Value != nil {
+		return true // constant: a zero constant denominator would be a compile-scale bug, not drift
+	}
+	if isMathMax(p, den) {
+		return true
+	}
+	for _, key := range denominatorKeys(den) {
+		if guards[key] {
+			return true
+		}
+	}
+	return false
+}
+
+func isMathMax(p *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := p.Info.Uses[sel.Sel]
+	return ok && obj.Pkg() != nil && obj.Pkg().Path() == "math" && obj.Name() == "Max"
+}
+
+// denominatorKeys returns the expression strings a guard may mention to
+// cover den: the expression itself, the inside of a conversion, and the
+// base of an index expression.
+func denominatorKeys(den ast.Expr) []string {
+	den = ast.Unparen(den)
+	keys := []string{exprString(den)}
+	switch d := den.(type) {
+	case *ast.CallExpr: // conversions like float64(n)
+		if len(d.Args) == 1 {
+			keys = append(keys, exprString(ast.Unparen(d.Args[0])))
+		}
+	case *ast.IndexExpr:
+		keys = append(keys, exprString(d.X))
+	case *ast.UnaryExpr:
+		keys = append(keys, exprString(d.X))
+	}
+	return keys
+}
+
+// exprString renders e compactly for matching and messages.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[" + exprString(e.Index) + "]"
+	case *ast.CallExpr:
+		s := exprString(e.Fun) + "("
+		for i, a := range e.Args {
+			if i > 0 {
+				s += ","
+			}
+			s += exprString(a)
+		}
+		return s + ")"
+	case *ast.BinaryExpr:
+		return exprString(e.X) + e.Op.String() + exprString(e.Y)
+	case *ast.UnaryExpr:
+		return e.Op.String() + exprString(e.X)
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	}
+	return "?"
+}

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// deterministicPkgs are the package-path suffixes whose results must be
+// bit-identical across runs and worker counts: the solver stack and the
+// exact lot-sizing DPs. See the package comment of internal/mip for the
+// guarantee nondeterm protects.
+var deterministicPkgs = []string{
+	"internal/lp", "internal/mip", "internal/core", "internal/lotsize",
+}
+
+// NonDeterm flags sources of run-to-run nondeterminism inside the
+// deterministic solver packages (including their tests, so fuzz-style
+// property tests stay reproducible):
+//
+//   - wall-clock reads (time.Now, time.Since),
+//   - the global math/rand source (rand.Intn, rand.Float64, ... — use a
+//     seeded rand.New(rand.NewSource(...)) instead),
+//   - map iteration whose body accumulates order-dependent state (appends,
+//     or floating-point compound assignment, whose rounding depends on
+//     visit order).
+func NonDeterm() *Analyzer {
+	a := &Analyzer{
+		Name:  "nondeterm",
+		Doc:   "wall-clock, global math/rand, or map-order-dependent state in deterministic solver packages",
+		Tests: true,
+		Paths: deterministicPkgs,
+	}
+	a.Run = func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					if obj := funcFromPkg(p, n, "time"); obj != nil {
+						if name := obj.Name(); name == "Now" || name == "Since" {
+							p.Reportf(n.Pos(), "time.%s reads the wall clock; solver decisions must not depend on it (confine clock reads to an annotated helper)", name)
+						}
+					}
+					if obj := funcFromPkg(p, n, "math/rand"); obj != nil {
+						if usesGlobalSource(obj.Name()) {
+							p.Reportf(n.Pos(), "rand.%s draws from the global source; use a seeded rand.New(rand.NewSource(...))", obj.Name())
+						}
+					}
+				case *ast.RangeStmt:
+					if t := p.TypeOf(n.X); t != nil {
+						if _, ok := t.Underlying().(*types.Map); ok {
+							if stmt := orderDependent(p, n.Body); stmt != nil {
+								p.Reportf(n.Pos(), "map iteration order is nondeterministic but the loop body accumulates order-dependent state; iterate sorted keys")
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// funcFromPkg resolves sel to a package-level function of pkgPath, or nil.
+func funcFromPkg(p *Pass, sel *ast.SelectorExpr, pkgPath string) types.Object {
+	obj, ok := p.Info.Uses[sel.Sel]
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
+		return nil
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Type().(*types.Signature).Recv() != nil {
+		return nil
+	}
+	return obj
+}
+
+// usesGlobalSource reports whether the named math/rand package-level
+// function draws from (or reseeds) the shared global source.
+func usesGlobalSource(name string) bool {
+	switch name {
+	case "New", "NewSource", "NewZipf":
+		return false
+	}
+	return true
+}
+
+// orderDependent returns a statement in body whose effect depends on
+// iteration order: an append to state declared outside the loop, or a
+// floating-point compound assignment (fp addition does not commute under
+// rounding).
+func orderDependent(p *Pass, body *ast.BlockStmt) ast.Node {
+	var found ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" {
+				if obj, ok := p.Info.Uses[id]; ok && obj.Pkg() == nil { // the builtin
+					found = n
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				for _, lhs := range n.Lhs {
+					if p.IsFloat(lhs) {
+						found = n
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// SyncCopy flags sync and sync/atomic values handled by value where go vet's
+// copylocks does not always reach: function parameters, results and
+// receivers declared with a lock-bearing non-pointer type, and range loops
+// that copy lock-bearing elements into the iteration variable. A copied
+// mutex or atomic guards nothing — the parallel branch-and-bound workers
+// would race straight through it.
+func SyncCopy() *Analyzer {
+	a := &Analyzer{
+		Name:  "synccopy",
+		Doc:   "sync/atomic values passed, returned, or ranged over by value",
+		Tests: true,
+	}
+	a.Run = func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if n.Recv != nil {
+						checkFieldList(p, n.Recv, "receiver")
+					}
+					checkFuncType(p, n.Type)
+				case *ast.FuncLit:
+					checkFuncType(p, n.Type)
+				case *ast.RangeStmt:
+					checkRangeCopy(p, n)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+func checkFuncType(p *Pass, ft *ast.FuncType) {
+	checkFieldList(p, ft.Params, "parameter")
+	if ft.Results != nil {
+		checkFieldList(p, ft.Results, "result")
+	}
+}
+
+func checkFieldList(p *Pass, fl *ast.FieldList, kind string) {
+	for _, field := range fl.List {
+		t := p.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if lock := lockPath(t, nil); lock != "" {
+			p.Reportf(field.Type.Pos(), "%s is declared by value but carries %s; pass a pointer", kind, lock)
+		}
+	}
+}
+
+func checkRangeCopy(p *Pass, n *ast.RangeStmt) {
+	if n.Value == nil {
+		return
+	}
+	t := p.TypeOf(n.Value)
+	if t == nil {
+		return
+	}
+	if lock := lockPath(t, nil); lock != "" {
+		p.Reportf(n.Value.Pos(), "range copies %s into the iteration variable; iterate by index or over pointers", lock)
+	}
+}
+
+// lockPath reports how t transitively contains a sync/atomic value type,
+// e.g. "sync.Mutex (via field mu)", or "" if it does not. Pointers stop the
+// search: sharing a pointer to a lock is exactly the correct pattern.
+func lockPath(t types.Type, seen []*types.Named) string {
+	switch t := t.(type) {
+	case *types.Named:
+		if name := syncTypeName(t); name != "" {
+			return name
+		}
+		for _, s := range seen {
+			if s == t {
+				return ""
+			}
+		}
+		return lockPath(t.Underlying(), append(seen, t))
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			fld := t.Field(i)
+			if inner := lockPath(fld.Type(), seen); inner != "" {
+				return fmt.Sprintf("%s (via field %s)", inner, fld.Name())
+			}
+		}
+	case *types.Array:
+		return lockPath(t.Elem(), seen)
+	}
+	return ""
+}
+
+// syncTypeName returns the qualified name of t when it is a by-value-unsafe
+// type from sync or sync/atomic.
+func syncTypeName(t *types.Named) string {
+	obj := t.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	switch obj.Pkg().Path() {
+	case "sync":
+		switch obj.Name() {
+		case "Mutex", "RWMutex", "WaitGroup", "Cond", "Once", "Map", "Pool":
+			return "sync." + obj.Name()
+		}
+	case "sync/atomic":
+		return "atomic." + obj.Name() // every exported sync/atomic type is copy-unsafe
+	}
+	return ""
+}

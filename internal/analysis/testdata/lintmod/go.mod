@@ -1,0 +1,3 @@
+module example.com/lintmod
+
+go 1.24

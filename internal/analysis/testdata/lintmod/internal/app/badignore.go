@@ -1,0 +1,6 @@
+package app
+
+// A directive naming an unknown analyzer is itself a finding.
+//
+//lint:ignore rentlint/nosuch this analyzer does not exist // want rentlint/badignore
+func placeholder() {}

@@ -1,0 +1,63 @@
+package app
+
+import (
+	"errors"
+
+	"example.com/lintmod/internal/lp"
+	"example.com/lintmod/internal/mip"
+)
+
+var errNotOptimal = errors.New("not optimal")
+
+// fireAndForget discards the whole result: true positive.
+func fireAndForget(p *lp.Problem) {
+	lp.Solve(p) // want rentlint/checkedstatus
+}
+
+// goSolve discards the result in a go statement: true positive.
+func goSolve(p *lp.Problem) {
+	go lp.Solve(p) // want rentlint/checkedstatus
+}
+
+// blankErr drops the error on the floor: true positive.
+func blankErr(p *lp.Problem) []float64 {
+	sol, _ := lp.Solve(p) // want rentlint/checkedstatus
+	if sol.Status != lp.StatusOptimal {
+		return nil
+	}
+	return sol.X
+}
+
+// noStatus consumes the solution without ever reading Status: true positive.
+func noStatus(p *lp.Problem) float64 {
+	sol, err := lp.Solve(p) // want rentlint/checkedstatus
+	if err != nil {
+		return 0
+	}
+	return sol.Obj
+}
+
+// checked examines both the error and the status: true negative.
+func checked(p *lp.Problem) (float64, error) {
+	sol, err := lp.SolveWithOptions(p, lp.Options{})
+	if err != nil {
+		return 0, err
+	}
+	if sol.Status != lp.StatusOptimal {
+		return 0, errNotOptimal
+	}
+	return sol.Obj, nil
+}
+
+// escapes hands the solution to its caller, which may check the status:
+// true negative.
+func escapes(p *mip.Problem) (*mip.Solution, error) {
+	sol, err := mip.Solve(p)
+	return sol, err
+}
+
+// deliberateWarmup carries a reasoned suppression: reported but suppressed.
+func deliberateWarmup(p *lp.Problem) {
+	//lint:ignore rentlint/checkedstatus corpus: cache-warming call, result deliberately unused
+	lp.Solve(p) // wantsup rentlint/checkedstatus
+}

@@ -1,0 +1,9 @@
+// External test packages form their own compilation unit; synccopy reaches
+// them too.
+package app_test
+
+import "sync"
+
+func xtestCopies(wg sync.WaitGroup) { // want rentlint/synccopy
+	_ = wg
+}

@@ -1,0 +1,35 @@
+// Package app sits outside the solver path set, so only the module-wide
+// analyzers (floatcmp, checkedstatus, synccopy) apply here.
+package app
+
+// equalMass compares floats exactly: true positive.
+func equalMass(a, b float64) bool {
+	return a == b // want rentlint/floatcmp
+}
+
+// notEqual compares floats exactly: true positive.
+func notEqual(a, b float64) bool {
+	return a != b // want rentlint/floatcmp
+}
+
+// classify switches on a float: true positive.
+func classify(x float64) int {
+	switch x { // want rentlint/floatcmp
+	case 0:
+		return 0
+	}
+	return 1
+}
+
+// intsEqual compares integers: true negative.
+func intsEqual(a, b int) bool { return a == b }
+
+// constFold compares compile-time constants, which is exact by definition:
+// true negative.
+func constFold() bool { return 1.5 == 3.0/2.0 }
+
+// sentinel carries a reasoned suppression: reported but suppressed.
+func sentinel(x float64) bool {
+	//lint:ignore rentlint/floatcmp corpus: deliberate exact-zero sentinel
+	return x == 0 // wantsup rentlint/floatcmp
+}

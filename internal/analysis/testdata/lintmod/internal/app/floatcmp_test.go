@@ -1,0 +1,7 @@
+package app
+
+// floatcmp skips test files (ad-hoc exact comparisons are fine in
+// assertions), so this site carries no want marker.
+func equalInTest(a, b float64) bool {
+	return a == b
+}

@@ -1,0 +1,51 @@
+package app
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// lockByValue copies the embedded mutex into the parameter: true positive.
+func lockByValue(c counter) int { // want rentlint/synccopy
+	return c.n
+}
+
+// lockByPointer shares the lock correctly: true negative.
+func lockByPointer(c *counter) int {
+	return c.n
+}
+
+// returnsAtomic copies an atomic value out: true positive.
+func returnsAtomic() atomic.Int64 { // want rentlint/synccopy
+	return atomic.Int64{}
+}
+
+// rangeCopies copies a lock-bearing element every iteration: true positive.
+func rangeCopies(cs []counter) int {
+	total := 0
+	for _, c := range cs { // want rentlint/synccopy
+		total += c.n
+	}
+	return total
+}
+
+// rangeByIndex avoids the copy: true negative.
+func rangeByIndex(cs []counter) int {
+	total := 0
+	for i := range cs {
+		total += cs[i].n
+	}
+	return total
+}
+
+// snapshot carries a reasoned suppression: reported but suppressed.
+//
+//lint:ignore rentlint/synccopy corpus: value receiver documented as snapshot-only
+func snapshot(c counter) int { // wantsup rentlint/synccopy
+	return c.n
+}

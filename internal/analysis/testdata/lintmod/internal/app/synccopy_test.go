@@ -1,0 +1,8 @@
+package app
+
+import "sync"
+
+// synccopy has Tests: true, so by-value locks are flagged even here.
+func helperCopies(mu sync.Mutex) { // want rentlint/synccopy
+	_ = mu
+}

@@ -1,0 +1,25 @@
+// Package core sits inside the tolconst path set: tolerance-scale float
+// literals must come from the central constants package.
+package core
+
+// bigStep is above the tolerance scale: true negative.
+const bigStep = 0.5
+
+// snap hides a magic tolerance literal: true positive.
+func snap(x float64) float64 {
+	if x < 1e-9 { // want rentlint/tolconst
+		return 0
+	}
+	return x
+}
+
+// wide uses a non-tolerance literal: true negative.
+func wide(x float64) float64 {
+	return x + 0.25
+}
+
+// annotatedTol carries a reasoned suppression: reported but suppressed.
+func annotatedTol(x float64) bool {
+	//lint:ignore rentlint/tolconst corpus: documented one-off slack
+	return x > 1e-7 // wantsup rentlint/tolconst
+}

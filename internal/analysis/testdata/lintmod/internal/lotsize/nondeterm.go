@@ -1,0 +1,53 @@
+// Package lotsize sits inside the deterministic-solver path set, so the
+// nondeterm analyzer applies here (including the test files).
+package lotsize
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// stamp reads the wall clock twice: two true positives.
+func stamp() time.Duration {
+	start := time.Now()      // want rentlint/nondeterm
+	return time.Since(start) // want rentlint/nondeterm
+}
+
+// draw uses the global math/rand source: true positive.
+func draw() float64 {
+	return rand.Float64() // want rentlint/nondeterm
+}
+
+// drawSeeded draws from an explicit source: true negative.
+func drawSeeded(rng *rand.Rand) float64 {
+	return rng.Float64()
+}
+
+// newRng builds the approved seeded generator: true negative.
+func newRng(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// sum accumulates floats over map order: true positive.
+func sum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want rentlint/nondeterm
+		total += v
+	}
+	return total
+}
+
+// maxVal only folds with a commutative reduction: true negative.
+func maxVal(m map[string]float64) float64 {
+	best := math.Inf(-1)
+	for _, v := range m {
+		best = math.Max(best, v)
+	}
+	return best
+}
+
+// clock carries a reasoned suppression: reported but suppressed.
+//
+//lint:ignore rentlint/nondeterm corpus: observability-only clock read
+func clock() time.Time { return time.Now() } // wantsup rentlint/nondeterm

@@ -1,0 +1,8 @@
+package lotsize
+
+import "time"
+
+// nondeterm has Tests: true, so wall-clock reads are flagged even here.
+func timedHelper() time.Time {
+	return time.Now() // want rentlint/nondeterm
+}

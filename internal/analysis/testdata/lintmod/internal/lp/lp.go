@@ -1,0 +1,35 @@
+// Package lp is a miniature stub of the real solver interface: just enough
+// surface (Solve, SolveWithOptions, Solution.Status) for the analyzer corpus
+// to exercise checkedstatus, nanprop and the path-scoping rules.
+package lp
+
+// Status reports the outcome of a solve.
+type Status int8
+
+const (
+	StatusOptimal Status = iota
+	StatusInfeasible
+)
+
+// Problem is a stub linear program.
+type Problem struct {
+	C []float64
+}
+
+// Options is a stub options struct.
+type Options struct {
+	Tol float64
+}
+
+// Solution is a stub solve result.
+type Solution struct {
+	Status Status
+	X      []float64
+	Obj    float64
+}
+
+// Solve pretends to minimise the problem.
+func Solve(p *Problem) (*Solution, error) { return &Solution{}, nil }
+
+// SolveWithOptions pretends to minimise the problem with options.
+func SolveWithOptions(p *Problem, opts Options) (*Solution, error) { return &Solution{}, nil }

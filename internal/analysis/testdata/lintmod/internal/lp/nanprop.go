@@ -1,0 +1,32 @@
+package lp
+
+import "math"
+
+// ratio has no guard at all: true positive.
+func ratio(a, b float64) float64 {
+	return a / b // want rentlint/nanprop
+}
+
+// guarded mentions the denominator in a condition: true negative.
+func guarded(a, b float64) float64 {
+	if b > 0.5 {
+		return a / b
+	}
+	return 0
+}
+
+// floored uses the math.Max flooring idiom: true negative.
+func floored(a, b float64) float64 {
+	return a / math.Max(b, 0.5)
+}
+
+// halved divides by a constant: true negative.
+func halved(a float64) float64 {
+	return a / 2
+}
+
+// annotated carries a reasoned suppression: reported but suppressed.
+func annotated(a, b float64) float64 {
+	//lint:ignore rentlint/nanprop corpus: denominator proven nonzero by construction
+	return a / b // wantsup rentlint/nanprop
+}

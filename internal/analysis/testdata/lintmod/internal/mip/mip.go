@@ -1,0 +1,22 @@
+// Package mip stubs the MILP entry points for the analyzer corpus.
+package mip
+
+import "example.com/lintmod/internal/lp"
+
+// Status aliases the LP status for the stub.
+type Status = lp.Status
+
+// Problem is a stub MILP.
+type Problem struct {
+	LP *lp.Problem
+}
+
+// Solution is a stub MILP solve result.
+type Solution struct {
+	Status Status
+	X      []float64
+	Obj    float64
+}
+
+// Solve pretends to minimise the MILP.
+func Solve(p *Problem) (*Solution, error) { return &Solution{}, nil }

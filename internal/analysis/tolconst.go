@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"strings"
+)
+
+// TolConst flags magic tolerance literals (1e-6, 1e-9, …) in the solver
+// packages. Every tolerance in internal/lp, internal/mip and internal/core
+// must be one of the named constants of internal/num, whose doc comments
+// state the invariant each value protects; a literal at the use site
+// bypasses that plumbing and silently decouples from the rest of the stack.
+// Any float literal with 0 < |v| ≤ 1e-4 is treated as tolerance-scale.
+// internal/num itself (the single authorised definition site) is exempt,
+// as are test files (ad-hoc assertion slacks are fine).
+func TolConst() *Analyzer {
+	a := &Analyzer{
+		Name:  "tolconst",
+		Doc:   "magic tolerance literals bypassing internal/num",
+		Paths: []string{"internal/lp", "internal/mip", "internal/core"},
+	}
+	a.Run = func(p *Pass) {
+		if strings.HasSuffix(strings.TrimSuffix(p.PkgPath, "_test"), "internal/num") {
+			return
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				lit, ok := n.(*ast.BasicLit)
+				if !ok || lit.Kind != token.FLOAT {
+					return true
+				}
+				tv, ok := p.Info.Types[ast.Expr(lit)]
+				if !ok || tv.Value == nil {
+					return true
+				}
+				v, _ := constant.Float64Val(constant.ToFloat(tv.Value))
+				if v < 0 {
+					v = -v
+				}
+				if v > 0 && v <= 1e-4 {
+					p.Reportf(lit.Pos(), "magic tolerance literal %s; use a named constant from internal/num", lit.Value)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}

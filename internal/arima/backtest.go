@@ -47,7 +47,7 @@ func (r *BacktestResult) AvgMeanMSPE() float64 { return stats.Mean(r.MeanMSPE) }
 // naive forecast's error removed by the model (can be negative).
 func (r *BacktestResult) Improvement() float64 {
 	m := r.AvgMeanMSPE()
-	if m == 0 {
+	if m == 0 { //lint:ignore rentlint/floatcmp division guard: only an exactly-zero MSPE makes the ratio undefined
 		return 0
 	}
 	return 1 - r.AvgModelMSPE()/m

@@ -113,7 +113,7 @@ func (o Options) withDefaults() Options {
 	if o.Tol <= 0 {
 		o.Tol = 1e-7
 	}
-	if o.ThetaLB == 0 {
+	if o.ThetaLB == 0 { //lint:ignore rentlint/floatcmp zero is the unset-default sentinel of the Options zero value, never a computed result
 		o.ThetaLB = -1e7
 	}
 	return o
@@ -234,7 +234,7 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 				grad := cutCoef[ti]
 				rhsAcc := ssol.Obj
 				for i, pi := range ssol.Duals {
-					if pi == 0 {
+					if pi == 0 { //lint:ignore rentlint/floatcmp exact-zero skip: omitting a zero dual changes no sum, for any rounding
 						continue
 					}
 					for j := 0; j < n; j++ {
@@ -254,7 +254,7 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 				row := make([]float64, n+nTheta)
 				rhsF := 0.0
 				for i, sig := range ssol.FarkasRay {
-					if sig == 0 {
+					if sig == 0 { //lint:ignore rentlint/floatcmp exact-zero skip: omitting a zero ray entry changes no sum, for any rounding
 						continue
 					}
 					for j := 0; j < n; j++ {

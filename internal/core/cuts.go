@@ -7,6 +7,7 @@ import (
 
 	"rentplan/internal/lp"
 	"rentplan/internal/mip"
+	"rentplan/internal/num"
 )
 
 // This file implements cut-and-branch for DRRP using the classic (l,S)
@@ -61,7 +62,7 @@ func SolveDRRPCutAndBranch(par Params, prices, dem []float64) (*Plan, *CutStats,
 
 	stats := &CutStats{}
 	const maxRounds = 30
-	const violTol = 1e-7
+	const violTol = num.CutViolTol
 	for round := 0; round < maxRounds; round++ {
 		rel, err := lp.Solve(prob.LP)
 		if err != nil {

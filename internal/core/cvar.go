@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"rentplan/internal/mip"
+	"rentplan/internal/num"
 	"rentplan/internal/scenario"
 )
 
@@ -190,7 +191,7 @@ func computeCVaR(costs, probs []float64, alpha float64) (eta, cvar float64) {
 	eta = costs[idx[len(idx)-1]]
 	for _, i := range idx {
 		cum += probs[i]
-		if cum >= alpha-1e-12 {
+		if cum >= alpha-num.DriftTol {
 			eta = costs[i]
 			break
 		}

@@ -7,6 +7,7 @@ import (
 
 	"rentplan/internal/lotsize"
 	"rentplan/internal/mip"
+	"rentplan/internal/num"
 )
 
 // Plan is a deterministic rental plan over a fixed horizon: the solution of
@@ -76,7 +77,7 @@ func constantCapacity(par Params, T int) (float64, bool) {
 	}
 	c := par.Capacity[0] / par.ConsumptionRate
 	for t := 1; t < T; t++ {
-		if math.Abs(par.Capacity[t]-par.Capacity[0]) > 1e-12 {
+		if math.Abs(par.Capacity[t]-par.Capacity[0]) > num.DriftTol {
 			return 0, false
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"rentplan/internal/num"
 	"rentplan/internal/scenario"
 	"rentplan/internal/stats"
 )
@@ -101,7 +102,7 @@ func execute(cfg *ExecConfig, decide func(t int, inv float64) decision) (*Outcom
 			d.rent = true // generation requires an instance
 		}
 		// Emergency correction: never violate the inventory balance.
-		if short := cfg.Demand[t] - inv - d.alpha; short > 1e-9 {
+		if short := cfg.Demand[t] - inv - d.alpha; short > num.DemandTol {
 			d.alpha += short
 			if !d.rent {
 				d.rent = true

@@ -107,7 +107,7 @@ func SolveChain(p *ChainProblem) (*ChainSolution, error) {
 	for j := 0; j < T; j++ {
 		intervalCost[j] = p.Setup[j]
 		from[j+1] = -1
-		if net[j] == 0 && G[j] < G[j+1] {
+		if net[j] == 0 && G[j] < G[j+1] { //lint:ignore rentlint/floatcmp net demand is produced by max(0,·) clamping, so "no demand" is exactly zero
 			// No new demand: extend the previous plan for free.
 			G[j+1] = G[j]
 		}

@@ -247,7 +247,7 @@ func mergeSortedUnique(a, b []float64) []float64 {
 			i++
 			j++
 		}
-		if len(out) == 0 || out[len(out)-1] != v {
+		if len(out) == 0 || out[len(out)-1] != v { //lint:ignore rentlint/floatcmp dedup of values copied verbatim from the inputs: equal means bit-identical here
 			out = append(out, v)
 		}
 	}

@@ -1,6 +1,10 @@
 package lp
 
-import "math"
+import (
+	"math"
+
+	"rentplan/internal/num"
+)
 
 // evictArtificials pivots zero-valued artificial variables out of the basis
 // after a successful phase 1, replacing them with structural or slack
@@ -17,6 +21,7 @@ func (s *simplex) evictArtificials() {
 		found := -1
 		var wFound []float64
 		for j := 0; j < s.nTot && found < 0; j++ {
+			//lint:ignore rentlint/floatcmp fixed columns have lo and hi assigned from the same value; the check must match that exactly
 			if s.stat[j] == statusBasic || s.lo[j] == s.hi[j] {
 				continue
 			}
@@ -26,7 +31,7 @@ func (s *simplex) evictArtificials() {
 			for k := 0; k < s.m; k++ {
 				e += row[k] * col[k]
 			}
-			if math.Abs(e) > 1e-7 {
+			if math.Abs(e) > num.EvictPivotTol {
 				found = j
 				wFound = make([]float64, s.m)
 				for i := 0; i < s.m; i++ {
@@ -59,6 +64,7 @@ func (s *simplex) evictArtificials() {
 		s.inRow[found] = r
 		piv := wFound[r]
 		rowR := s.binv[r]
+		//lint:ignore rentlint/nanprop wFound[r] is the entry e that passed |e| > num.EvictPivotTol above, so piv is nonzero
 		inv := 1 / piv
 		for k := 0; k < s.m; k++ {
 			rowR[k] *= inv
@@ -68,7 +74,7 @@ func (s *simplex) evictArtificials() {
 				continue
 			}
 			f := wFound[i]
-			if f == 0 {
+			if f == 0 { //lint:ignore rentlint/floatcmp exact-zero skip: a zero multiplier leaves the row untouched
 				continue
 			}
 			row := s.binv[i]

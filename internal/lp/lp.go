@@ -21,6 +21,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"rentplan/internal/num"
 )
 
 // Rel is the relational operator of a linear constraint row.
@@ -185,7 +187,7 @@ type Solution struct {
 type Options struct {
 	// MaxIter bounds total pivots; ≤0 selects 50·(m+n)+5000.
 	MaxIter int
-	// Tol is the feasibility/optimality tolerance; ≤0 selects 1e-9.
+	// Tol is the feasibility/optimality tolerance; ≤0 selects num.LPTol.
 	Tol float64
 }
 
@@ -194,7 +196,7 @@ func (o Options) withDefaults(m, n int) Options {
 		o.MaxIter = 50*(m+n) + 5000
 	}
 	if o.Tol <= 0 {
-		o.Tol = 1e-9
+		o.Tol = num.LPTol
 	}
 	return o
 }

@@ -1,6 +1,10 @@
 package lp
 
-import "math"
+import (
+	"math"
+
+	"rentplan/internal/num"
+)
 
 // variable status within the simplex.
 type varStatus int8
@@ -133,7 +137,7 @@ func (s *simplex) solve() (*Solution, error) {
 				scale = a
 			}
 		}
-		if art > 1e-7*scale {
+		if art > num.FeasTol*scale {
 			sol := s.result(StatusInfeasible)
 			sol.FarkasRay = s.dualVector(true)
 			return sol, nil
@@ -165,7 +169,7 @@ func (s *simplex) dualVector(phase1 bool) []float64 {
 	y := make([]float64, s.m)
 	for i := 0; i < s.m; i++ {
 		cb := s.phaseCost(s.basis[i], phase1)
-		if cb == 0 {
+		if cb == 0 { //lint:ignore rentlint/floatcmp exact-zero skip: omitting a zero coefficient changes no sum, for any rounding
 			continue
 		}
 		row := s.binv[i]
@@ -190,14 +194,14 @@ func (s *simplex) setupPhase1() bool {
 	r := make([]float64, s.m)
 	copy(r, s.p.B)
 	for j := 0; j < s.n; j++ {
-		if v := s.xval[j]; v != 0 {
+		if v := s.xval[j]; v != 0 { //lint:ignore rentlint/floatcmp exact-zero skip: zero rest values contribute nothing to the residual
 			for i := 0; i < s.m; i++ {
 				r[i] -= s.p.A[i][j] * v
 			}
 		}
 	}
 	for i := 0; i < s.m; i++ {
-		if v := s.xval[s.n+i]; v != 0 {
+		if v := s.xval[s.n+i]; v != 0 { //lint:ignore rentlint/floatcmp exact-zero skip: zero slack rest values contribute nothing
 			r[i] -= v
 		}
 	}
@@ -250,6 +254,7 @@ func (s *simplex) setupPhase1() bool {
 		for k := 0; k < s.m; k++ {
 			s.binv[i][k] = 0
 		}
+		//lint:ignore rentlint/nanprop artSgn is assigned ±1 a few lines above, never zero
 		s.binv[i][i] = 1 / s.artSgn[i]
 	}
 	return false
@@ -279,7 +284,7 @@ func (s *simplex) runPhase(phase1 bool) Status {
 		}
 		for i := 0; i < s.m; i++ {
 			cb := s.phaseCost(s.basis[i], phase1)
-			if cb == 0 {
+			if cb == 0 { //lint:ignore rentlint/floatcmp exact-zero skip: omitting a zero coefficient changes no sum, for any rounding
 				continue
 			}
 			row := s.binv[i]
@@ -293,7 +298,7 @@ func (s *simplex) runPhase(phase1 bool) Status {
 		}
 		for i := 0; i < s.m; i++ {
 			yi := s.y[i]
-			if yi == 0 {
+			if yi == 0 { //lint:ignore rentlint/floatcmp exact-zero skip: a zero dual multiplies every entry of the row to zero
 				continue
 			}
 			row := s.p.A[i]
@@ -322,6 +327,7 @@ func (s *simplex) priceEntering(phase1 bool, tol float64) (int, float64) {
 	limit := s.nTot // artificials never re-enter
 	bestJ, bestDir, bestScore := -1, 0.0, tol
 	for j := 0; j < limit; j++ {
+		//lint:ignore rentlint/floatcmp fixed columns have lo and hi assigned from the same value; the check must match that exactly
 		if s.stat[j] == statusBasic || s.lo[j] == s.hi[j] {
 			continue
 		}
@@ -348,7 +354,7 @@ func (s *simplex) priceEntering(phase1 bool, tol float64) (int, float64) {
 				dir, score = -1, d
 			}
 		}
-		if dir == 0 {
+		if dir == 0 { //lint:ignore rentlint/floatcmp dir is a ±1/0 sentinel assigned literally above, never computed
 			continue
 		}
 		if s.bland {
@@ -386,7 +392,7 @@ func (s *simplex) pivot(j int, dir float64, phase1 bool, tol float64) pivotStatu
 	tMax := math.Inf(1)
 	leave := -1
 	leaveAt := statusAtLower
-	pivTol := 1e-10
+	pivTol := num.PivotTol
 	for i := 0; i < s.m; i++ {
 		g := dir * s.w[i]
 		if math.Abs(g) <= pivTol {
@@ -458,6 +464,7 @@ func (s *simplex) pivot(j int, dir float64, phase1 bool, tol float64) pivotStatu
 	// Product-form update of B⁻¹: pivot on w[leave].
 	piv := s.w[leave]
 	rowR := s.binv[leave]
+	//lint:ignore rentlint/nanprop the ratio test only admits rows with |w| > pivTol, so piv is nonzero by construction
 	inv := 1 / piv
 	for k := 0; k < s.m; k++ {
 		rowR[k] *= inv
@@ -467,7 +474,7 @@ func (s *simplex) pivot(j int, dir float64, phase1 bool, tol float64) pivotStatu
 			continue
 		}
 		f := s.w[i]
-		if f == 0 {
+		if f == 0 { //lint:ignore rentlint/floatcmp exact-zero skip: a zero multiplier leaves the row untouched
 			continue
 		}
 		row := s.binv[i]
@@ -516,7 +523,7 @@ func (s *simplex) refresh() {
 		mat[i][m+i] = 1
 	}
 	for c := 0; c < m; c++ {
-		p, best := -1, 1e-12
+		p, best := -1, num.SingularTol
 		for r := c; r < m; r++ {
 			if a := math.Abs(mat[r][c]); a > best {
 				p, best = r, a
@@ -526,12 +533,13 @@ func (s *simplex) refresh() {
 			return // singular: keep current inverse
 		}
 		mat[c], mat[p] = mat[p], mat[c]
+		//lint:ignore rentlint/nanprop partial pivoting just swapped a row with |entry| > num.SingularTol into position c
 		inv := 1 / mat[c][c]
 		for k := c; k < 2*m; k++ {
 			mat[c][k] *= inv
 		}
 		for r := 0; r < m; r++ {
-			if r == c || mat[r][c] == 0 {
+			if r == c || mat[r][c] == 0 { //lint:ignore rentlint/floatcmp exact-zero skip: elimination of an already-zero entry is a no-op
 				continue
 			}
 			f := mat[r][c]
@@ -553,7 +561,7 @@ func (s *simplex) refresh() {
 			continue
 		}
 		v := s.xval[j]
-		if v == 0 {
+		if v == 0 { //lint:ignore rentlint/floatcmp exact-zero skip: zero nonbasic values contribute nothing to the residual
 			continue
 		}
 		for i := 0; i < m; i++ {
@@ -578,10 +586,10 @@ func (s *simplex) result(st Status) *Solution {
 		for j := 0; j < s.n; j++ {
 			v := s.xval[j]
 			// Snap to bounds to remove tolerance-scale noise.
-			if !math.IsInf(s.lo[j], -1) && math.Abs(v-s.lo[j]) < 1e-9 {
+			if !math.IsInf(s.lo[j], -1) && math.Abs(v-s.lo[j]) < num.SnapTol {
 				v = s.lo[j]
 			}
-			if !math.IsInf(s.hi[j], 1) && math.Abs(v-s.hi[j]) < 1e-9 {
+			if !math.IsInf(s.hi[j], 1) && math.Abs(v-s.hi[j]) < num.SnapTol {
 				v = s.hi[j]
 			}
 			sol.X[j] = v

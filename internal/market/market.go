@@ -224,7 +224,7 @@ func (g *Generator) Trace(days int) *SpotTrace {
 				shift += g.Cfg.JumpScale * (0.5 + rng.Float64())
 			}
 			price := g.clearingPrice(z+diurnal, shift)
-			if price == lastPrice {
+			if price == lastPrice { //lint:ignore rentlint/floatcmp repeat detection: an unchanged clearing price is recomputed bit-identically
 				continue // Amazon only publishes actual changes
 			}
 			lastPrice = price

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"rentplan/internal/lp"
+	"rentplan/internal/num"
 )
 
 // Status reports the outcome of a MILP solve.
@@ -141,10 +142,10 @@ func (o Options) withDefaults() Options {
 		o.MaxNodes = 200000
 	}
 	if o.RelGap <= 0 {
-		o.RelGap = 1e-9
+		o.RelGap = num.RelGapTol
 	}
 	if o.IntTol <= 0 {
-		o.IntTol = 1e-6
+		o.IntTol = num.IntTol
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
@@ -265,7 +266,7 @@ type bnb struct {
 
 func newBnB(p *Problem, opts Options) *bnb {
 	n := p.LP.NumVars()
-	b := &bnb{p: p, opts: opts, start: time.Now(), incObj: math.Inf(1)}
+	b := &bnb{p: p, opts: opts, start: now(), incObj: math.Inf(1)}
 	b.cond = sync.NewCond(&b.mu)
 	b.incBits.Store(math.Float64bits(math.Inf(1)))
 	b.psUp = make([]atomicFloat64, n)
@@ -391,7 +392,7 @@ func (b *bnb) stopLocked() {
 }
 
 func (b *bnb) overTime() bool {
-	return b.opts.TimeLimit > 0 && time.Since(b.start) > b.opts.TimeLimit
+	return b.opts.TimeLimit > 0 && since(b.start) > b.opts.TimeLimit
 }
 
 // reserve accounts one node about to be solved, enforcing the node and time
@@ -496,7 +497,7 @@ func (b *bnb) finish() *Solution {
 
 // improves reports whether bound is meaningfully below obj.
 func improves(bound, obj, relGap float64) bool {
-	return bound < obj-relGap*math.Max(1, math.Abs(obj))-1e-12
+	return bound < obj-relGap*math.Max(1, math.Abs(obj))-num.DriftTol
 }
 
 // branchPoint returns the down-branch ceiling fl (children are x ≤ fl and
@@ -620,7 +621,7 @@ func (b *bnb) pickBranch(x []float64) int {
 			un, dn := b.psUpN[j].Load(), b.psDownN[j].Load()
 			up := avg(b.psUp[j].Load(), un)
 			down := avg(b.psDown[j].Load(), dn)
-			score := math.Max(up*(1-f), 1e-6) * math.Max(down*f, 1e-6)
+			score := math.Max(up*(1-f), num.PseudoCostFloor) * math.Max(down*f, num.PseudoCostFloor)
 			if un+dn == 0 {
 				score = dist // uninitialised: fall back to fractionality
 			}
@@ -698,7 +699,7 @@ func (b *bnb) tryRounding(x []float64) {
 // pruning.
 func (b *bnb) publish(x []float64, obj float64) {
 	b.mu.Lock()
-	if obj >= b.incObj-1e-12 {
+	if obj >= b.incObj-num.DriftTol {
 		b.mu.Unlock()
 		return
 	}
@@ -707,7 +708,7 @@ func (b *bnb) publish(x []float64, obj float64) {
 	b.hasInc = true
 	b.incBits.Store(math.Float64bits(obj))
 	rec := IncumbentRecord{
-		Elapsed: time.Since(b.start),
+		Elapsed: since(b.start),
 		Obj:     obj,
 		Bound:   b.boundLocked(),
 		Node:    b.nodes,
@@ -725,9 +726,9 @@ func (b *bnb) publish(x []float64, obj float64) {
 // integer coordinates were snapped by at most IntTol); otherwise the strict
 // fixed tolerance applies, as for heuristic rounding candidates.
 func (b *bnb) feasible(x []float64, scaled bool) bool {
-	btol := 1e-7
+	btol := num.FeasTol
 	if scaled {
-		btol = b.opts.IntTol + 1e-9
+		btol = b.opts.IntTol + num.SnapTol
 	}
 	for j := range x {
 		if x[j] < b.baseLower[j]-btol || x[j] > b.baseUpper[j]+btol {
@@ -739,7 +740,7 @@ func (b *bnb) feasible(x []float64, scaled bool) bool {
 		for j := range row {
 			v += row[j] * x[j]
 		}
-		rtol := 1e-7
+		rtol := num.FeasTol
 		if scaled {
 			rtol += b.opts.IntTol * b.rowAbs[i]
 		}
@@ -780,7 +781,7 @@ func (b *bnb) boundLocked() float64 {
 }
 
 func (b *bnb) snapshotLocked() Stats {
-	el := time.Since(b.start)
+	el := since(b.start)
 	st := Stats{
 		Elapsed:      el,
 		Nodes:        b.nodes,
@@ -806,11 +807,11 @@ func (b *bnb) snapshotLocked() Stats {
 func (b *bnb) emitProgress(force bool) {
 	b.progressMu.Lock()
 	defer b.progressMu.Unlock()
-	now := time.Now()
-	if !force && now.Sub(b.lastProgress) < b.opts.ProgressEvery {
+	t := now()
+	if !force && t.Sub(b.lastProgress) < b.opts.ProgressEvery {
 		return
 	}
-	b.lastProgress = now
+	b.lastProgress = t
 	b.mu.Lock()
 	st := b.snapshotLocked()
 	b.mu.Unlock()

@@ -105,7 +105,7 @@ func minimizeOnce(f func([]float64) float64, x0 []float64, opts Options, evals *
 	simplex[0].f = eval(simplex[0].x)
 	for i := 1; i <= dim; i++ {
 		x := append([]float64(nil), x0...)
-		if x[i-1] == 0 {
+		if x[i-1] == 0 { //lint:ignore rentlint/floatcmp Nelder–Mead's standard zero-coordinate rule: relative steps are meaningless at exactly zero
 			x[i-1] = 0.00025
 		} else {
 			x[i-1] += opts.Step * math.Max(1, math.Abs(x[i-1]))

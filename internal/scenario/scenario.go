@@ -269,7 +269,7 @@ func (t *Tree) ExpectedPrice(s int) float64 {
 			mass += t.Prob[v]
 		}
 	}
-	if mass == 0 {
+	if mass == 0 { //lint:ignore rentlint/floatcmp division guard: only an exactly-zero mass makes the ratio undefined
 		return 0
 	}
 	return sum / mass

@@ -148,7 +148,7 @@ func (ins *Instance) params() core.Params {
 	if ins.Capacity != nil {
 		par.Capacity = ins.Capacity
 		par.ConsumptionRate = ins.ConsumptionRate
-		if par.ConsumptionRate == 0 {
+		if par.ConsumptionRate == 0 { //lint:ignore rentlint/floatcmp zero is the unset-default sentinel of the instance spec, never a computed result
 			par.ConsumptionRate = 1
 		}
 	}

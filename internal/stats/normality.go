@@ -30,7 +30,7 @@ func ShapiroWilk(xs []float64) (TestResult, error) {
 	}
 	x := append([]float64(nil), xs...)
 	sort.Float64s(x)
-	if x[0] == x[n-1] {
+	if x[0] == x[n-1] { //lint:ignore rentlint/floatcmp degenerate-sample check on sorted data: equal extremes mean a literally constant sample
 		return TestResult{}, errors.New("stats: ShapiroWilk needs sample range > 0")
 	}
 

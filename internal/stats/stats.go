@@ -57,7 +57,7 @@ func Skewness(xs []float64) float64 {
 	}
 	m2 /= n
 	m3 /= n
-	if m2 == 0 {
+	if m2 == 0 { //lint:ignore rentlint/floatcmp division guard: only an exactly-zero central moment makes the ratio undefined
 		return 0
 	}
 	return m3 / math.Pow(m2, 1.5)
@@ -78,7 +78,7 @@ func Kurtosis(xs []float64) float64 {
 	}
 	m2 /= n
 	m4 /= n
-	if m2 == 0 {
+	if m2 == 0 { //lint:ignore rentlint/floatcmp division guard: only an exactly-zero central moment makes the ratio undefined
 		return 0
 	}
 	return m4/(m2*m2) - 3
@@ -206,7 +206,7 @@ func NewHistogram(xs []float64, bins int) (*Histogram, error) {
 		lo = math.Min(lo, x)
 		hi = math.Max(hi, x)
 	}
-	if hi == lo {
+	if hi == lo { //lint:ignore rentlint/floatcmp degenerate-range check: min and max are copied sample values, equal only for a constant sample
 		hi = lo + 1e-12
 	}
 	h := &Histogram{Lo: lo, Hi: hi, Width: (hi - lo) / float64(bins), Counts: make([]int, bins), N: len(xs)}

@@ -154,7 +154,7 @@ func ACF(xs []float64, maxLag int) ([]float64, error) {
 		d := x - mean
 		c0 += d * d
 	}
-	if c0 == 0 {
+	if c0 == 0 { //lint:ignore rentlint/floatcmp division guard: only an exactly-zero variance makes the ACF undefined
 		return nil, errors.New("timeseries: constant series has undefined ACF")
 	}
 	out := make([]float64, maxLag+1)
@@ -314,7 +314,7 @@ func (d *Decomposition) SeasonalStrength() float64 {
 		vr += d.Remainder[t] * d.Remainder[t]
 		n++
 	}
-	if n == 0 || vs+vr == 0 {
+	if n == 0 || vs+vr == 0 { //lint:ignore rentlint/floatcmp division guard: sums of squares are ≥0, so an exactly-zero total is the only undefined case
 		return 0
 	}
 	return vs / (vs + vr)
@@ -332,7 +332,7 @@ func (d *Decomposition) TrendStrength() float64 {
 	}
 	vd := variance(detr)
 	vr := variance(rem)
-	if vd == 0 {
+	if vd == 0 { //lint:ignore rentlint/floatcmp division guard: only an exactly-zero variance makes the strength ratio undefined
 		return 0
 	}
 	s := 1 - vr/vd
@@ -376,7 +376,7 @@ func IsWeaklyStationary(xs []float64, tol float64) bool {
 	va, vb := variance(a), variance(b)
 	scale := math.Abs(meanOf(xs))
 	sd := math.Sqrt(variance(xs))
-	if sd == 0 {
+	if sd == 0 { //lint:ignore rentlint/floatcmp degenerate-sample check: zero standard deviation means a literally constant series
 		return true
 	}
 	if scale < sd {
@@ -385,10 +385,10 @@ func IsWeaklyStationary(xs []float64, tol float64) bool {
 	if math.Abs(ma-mb) > tol*scale {
 		return false
 	}
-	if va == 0 && vb == 0 {
+	if va == 0 && vb == 0 { //lint:ignore rentlint/floatcmp degenerate-half check: a variance is exactly zero only for a constant half-series
 		return true
 	}
-	if va == 0 || vb == 0 {
+	if va == 0 || vb == 0 { //lint:ignore rentlint/floatcmp degenerate-half check: a variance is exactly zero only for a constant half-series
 		return false
 	}
 	lo, hi := 1/(1+8*tol), 1+8*tol
