@@ -292,6 +292,50 @@ func BenchmarkSRRPMILPWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkWarmVsColdSRRP measures LP basis warm-starting on the SRRP
+// deterministic equivalent: the same serial branch-and-bound search with
+// child relaxations re-solved from the parent basis (warm) versus every node
+// cold-starting the two-phase simplex. Both must prove the same optimum; the
+// metric of interest is total simplex iterations (the per-node work), with
+// the warm hit/miss/fallback split for diagnosis. The 4-stage tree is the
+// smallest SRRP instance whose search actually branches (the 3-stage
+// relaxation is integral at the root, leaving nothing to warm-start).
+func BenchmarkWarmVsColdSRRP(b *testing.B) {
+	par, tree, dem := srrpInstance(b, 4, 3)
+	prob, _, err := core.BuildSRRPMILP(par, tree, dem)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, warm := range []bool{true, false} {
+		name := "warm"
+		if !warm {
+			name = "cold"
+		}
+		b.Run(name, func(b *testing.B) {
+			var st mip.Stats
+			for i := 0; i < b.N; i++ {
+				sol, err := mip.SolveWithOptions(prob, mip.Options{
+					MaxNodes: 500000, Workers: 1, NoWarmStart: !warm,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sol.Status != mip.StatusOptimal {
+					b.Fatalf("status %v", sol.Status)
+				}
+				st = sol.Stats
+			}
+			b.ReportMetric(float64(st.SimplexIters), "simplex_iters")
+			b.ReportMetric(float64(st.Nodes), "bb_nodes")
+			if warm {
+				b.ReportMetric(float64(st.WarmHits), "warm_hits")
+				b.ReportMetric(float64(st.WarmMisses), "warm_misses")
+				b.ReportMetric(float64(st.WarmFallbacks), "warm_fallbacks")
+			}
+		})
+	}
+}
+
 // BenchmarkAblationTreeWidth sweeps the scenario-tree branch cap on a
 // trace-derived base distribution (dozens of price states): wider trees
 // approximate the distribution better but grow geometrically in both

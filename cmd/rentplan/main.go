@@ -161,16 +161,30 @@ func main() {
 	}
 }
 
-// printProgress streams one MILP solver snapshot per callback to stderr.
+// printProgress streams one MILP solver snapshot per callback to stderr,
+// including the warm-start dispatch counts (hit/miss/fallback) and the mean
+// simplex iterations per warm-started versus cold-started node.
 func printProgress(st mip.Stats) {
 	inc := "-"
 	if st.HasIncumbent {
 		inc = fmt.Sprintf("%.6g", st.Incumbent)
 	}
+	warmNodes := st.WarmHits + st.WarmMisses + st.WarmFallbacks
 	fmt.Fprintf(os.Stderr,
-		"rentplan: mip %7.3fs %8d nodes (%6.0f/s) open %-6d iters %-8d inc %-12s bound %-12.6g gap %.3g\n",
+		"rentplan: mip %7.3fs %8d nodes (%6.0f/s) open %-6d iters %-8d inc %-12s bound %-12.6g gap %-9.3g warm %d/%d/%d it/node %s warm, %s cold\n",
 		st.Elapsed.Seconds(), st.Nodes, st.NodesPerSec, st.OpenNodes,
-		st.SimplexIters, inc, st.Bound, st.Gap)
+		st.SimplexIters, inc, st.Bound, st.Gap,
+		st.WarmHits, st.WarmMisses, st.WarmFallbacks,
+		perNode(st.WarmIters, warmNodes), perNode(st.ColdIters, st.ColdNodes))
+}
+
+// perNode formats a mean iteration count per node, or "-" when no node of
+// that class has been solved yet.
+func perNode(iters, nodes int64) string {
+	if nodes == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", float64(iters)/float64(nodes))
 }
 
 func maxInt(a, b int) int {

@@ -7,7 +7,7 @@ import (
 )
 
 // CheckedStatus flags call sites of lp.Solve / lp.SolveWithOptions /
-// mip.Solve / mip.SolveWithOptions that discard the outcome: the whole
+// lp.SolveFrom / mip.Solve / mip.SolveWithOptions that discard the outcome: the whole
 // result ignored, the error assigned to the blank identifier, or a Solution
 // whose fields are consumed without its Status ever being read in the same
 // function. A non-optimal status silently treated as optimal corrupts every
@@ -65,7 +65,7 @@ func solveCallName(p *Pass, call *ast.CallExpr) string {
 	if sig, ok := obj.Type().(*types.Signature); !ok || sig.Recv() != nil {
 		return ""
 	}
-	if obj.Name() != "Solve" && obj.Name() != "SolveWithOptions" {
+	if obj.Name() != "Solve" && obj.Name() != "SolveWithOptions" && obj.Name() != "SolveFrom" {
 		return ""
 	}
 	path := strings.TrimSuffix(obj.Pkg().Path(), "_test")

@@ -61,3 +61,30 @@ func deliberateWarmup(p *lp.Problem) {
 	//lint:ignore rentlint/checkedstatus corpus: cache-warming call, result deliberately unused
 	lp.Solve(p) // wantsup rentlint/checkedstatus
 }
+
+// warmFireAndForget discards a warm-started solve: true positive.
+func warmFireAndForget(p *lp.Problem, b *lp.Basis) {
+	lp.SolveFrom(p, b, lp.Options{}) // want rentlint/checkedstatus
+}
+
+// warmNoStatus consumes a warm-started solution without reading Status:
+// true positive.
+func warmNoStatus(p *lp.Problem, b *lp.Basis) float64 {
+	sol, err := lp.SolveFrom(p, b, lp.Options{}) // want rentlint/checkedstatus
+	if err != nil {
+		return 0
+	}
+	return sol.Obj
+}
+
+// warmChecked examines both the error and the status: true negative.
+func warmChecked(p *lp.Problem, b *lp.Basis) (float64, error) {
+	sol, err := lp.SolveFrom(p, b, lp.Options{})
+	if err != nil {
+		return 0, err
+	}
+	if sol.Status != lp.StatusOptimal {
+		return 0, errNotOptimal
+	}
+	return sol.Obj, nil
+}

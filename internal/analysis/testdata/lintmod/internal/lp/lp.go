@@ -28,8 +28,16 @@ type Solution struct {
 	Obj    float64
 }
 
+// Basis is a stub basis snapshot.
+type Basis struct {
+	Columns []int
+}
+
 // Solve pretends to minimise the problem.
 func Solve(p *Problem) (*Solution, error) { return &Solution{}, nil }
 
 // SolveWithOptions pretends to minimise the problem with options.
 func SolveWithOptions(p *Problem, opts Options) (*Solution, error) { return &Solution{}, nil }
+
+// SolveFrom pretends to minimise the problem from a basis snapshot.
+func SolveFrom(p *Problem, b *Basis, opts Options) (*Solution, error) { return &Solution{}, nil }

@@ -1,0 +1,99 @@
+package lp
+
+// VarStatus is the resting state of one column in a Basis snapshot.
+type VarStatus int8
+
+const (
+	// VarBasic marks a column that is basic (its value is determined by
+	// the basis system, not by a bound).
+	VarBasic VarStatus = iota
+	// VarAtLower marks a nonbasic column resting on its lower bound.
+	VarAtLower
+	// VarAtUpper marks a nonbasic column resting on its upper bound.
+	VarAtUpper
+	// VarFree marks a nonbasic free column pinned at 0.
+	VarFree
+)
+
+// Basis is a snapshot of a simplex basis: which column is basic in each row
+// and which bound every nonbasic column rests on. It is attached to every
+// optimal Solution and can be handed to SolveFrom to re-solve a nearby
+// problem — typically a branch-and-bound child that differs from its parent
+// by a single variable bound — without repeating phase 1 from scratch.
+//
+// A Basis is immutable once extracted: SolveFrom copies what it needs into a
+// private solver instance, so one snapshot may be shared freely between
+// goroutines and between sibling nodes of a search tree.
+type Basis struct {
+	// Columns[i] is the column basic in row i: a structural variable index
+	// j < NumVars, or NumVars+k for the slack of row k. The sentinel -1
+	// marks a linearly dependent row whose zero-fixed artificial variable
+	// remained basic after phase 1.
+	Columns []int
+	// Status holds the resting status of every structural and slack column
+	// (length NumVars+NumRows). Entries for basic columns are VarBasic.
+	Status []VarStatus
+}
+
+// Clone returns a deep copy of the basis.
+func (b *Basis) Clone() *Basis {
+	if b == nil {
+		return nil
+	}
+	return &Basis{
+		Columns: append([]int(nil), b.Columns...),
+		Status:  append([]VarStatus(nil), b.Status...),
+	}
+}
+
+// snapshotBasis extracts the current basis of the simplex. Artificial
+// columns (possible only on linearly dependent rows, where they are pinned
+// at zero) are recorded as the -1 placeholder.
+func (s *simplex) snapshotBasis() *Basis {
+	b := &Basis{
+		Columns: make([]int, s.m),
+		Status:  make([]VarStatus, s.nTot),
+	}
+	for i, j := range s.basis {
+		if j >= s.nTot {
+			b.Columns[i] = -1
+		} else {
+			b.Columns[i] = j
+		}
+	}
+	for j := 0; j < s.nTot; j++ {
+		b.Status[j] = exportStatus(s.stat[j])
+	}
+	return b
+}
+
+// exportStatus and importStatus convert between the internal and the public
+// status enums explicitly, so a reordering of either cannot silently corrupt
+// snapshots.
+func exportStatus(st varStatus) VarStatus {
+	switch st {
+	case statusAtLower:
+		return VarAtLower
+	case statusAtUpper:
+		return VarAtUpper
+	case statusFree:
+		return VarFree
+	default:
+		return VarBasic
+	}
+}
+
+func importStatus(st VarStatus) (varStatus, bool) {
+	switch st {
+	case VarBasic:
+		return statusBasic, true
+	case VarAtLower:
+		return statusAtLower, true
+	case VarAtUpper:
+		return statusAtUpper, true
+	case VarFree:
+		return statusFree, true
+	default:
+		return statusBasic, false
+	}
+}

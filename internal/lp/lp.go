@@ -99,15 +99,30 @@ func (p *Problem) NumVars() int { return len(p.C) }
 // NumRows returns the number of constraint rows.
 func (p *Problem) NumRows() int { return len(p.A) }
 
-// Validate checks dimensional consistency and bound sanity.
+// Validate checks dimensional consistency, bound sanity, and that every
+// numeric entry of the program — costs, coefficients, right-hand sides and
+// bounds — is well formed. A NaN cost or coefficient would otherwise flow
+// through pricing and the ratio test without tripping any comparison and
+// could surface as a bogus "optimal"; only bounds may be infinite, and only
+// in the direction that leaves the interval nonempty.
 func (p *Problem) Validate() error {
 	n := len(p.C)
 	if len(p.A) != len(p.B) || len(p.A) != len(p.Rel) {
 		return fmt.Errorf("lp: row count mismatch: |A|=%d |B|=%d |Rel|=%d", len(p.A), len(p.B), len(p.Rel))
 	}
+	for j, c := range p.C {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("lp: objective coefficient %d is %g", j, c)
+		}
+	}
 	for i, row := range p.A {
 		if len(row) != n {
 			return fmt.Errorf("lp: row %d has %d coefficients, want %d", i, len(row), n)
+		}
+		for j, a := range row {
+			if math.IsNaN(a) || math.IsInf(a, 0) {
+				return fmt.Errorf("lp: A[%d][%d] is %g", i, j, a)
+			}
 		}
 	}
 	if p.Lower != nil && len(p.Lower) != n {
@@ -123,6 +138,9 @@ func (p *Problem) Validate() error {
 		}
 		if math.IsNaN(lo) || math.IsNaN(hi) {
 			return fmt.Errorf("lp: variable %d has NaN bound", j)
+		}
+		if math.IsInf(lo, 1) || math.IsInf(hi, -1) {
+			return fmt.Errorf("lp: variable %d has invalid bound interval [%g,%g]", j, lo, hi)
 		}
 	}
 	for i, b := range p.B {
@@ -165,6 +183,13 @@ func (p *Problem) Clone() *Problem {
 }
 
 // Solution is the result of a solve.
+//
+// X and Obj are populated only when the solver stopped at a primal-feasible
+// point: always for StatusOptimal, and for StatusIterLimit only when the
+// limit fired during phase 2 (the iterate is then feasible and Obj is an
+// upper bound on the optimum, never a lower bound usable for pruning). A
+// limit that fires during phase 1 or basis repair leaves X nil, because the
+// partially-pivoted iterate satisfies neither the constraints nor the bounds.
 type Solution struct {
 	Status     Status
 	X          []float64 // primal values of the structural variables
@@ -181,6 +206,13 @@ type Solution struct {
 	// phase-1 dual vector whose cut yᵀ(b − Ax) ≤ 0 separates every feasible
 	// right-hand side. Nil otherwise.
 	FarkasRay []float64
+
+	// Basis is a snapshot of the optimal basis, suitable for passing to
+	// SolveFrom on a nearby problem. Nil unless Status is StatusOptimal.
+	Basis *Basis
+	// WarmStart records how a SolveFrom call used the supplied basis;
+	// WarmNone for plain Solve/SolveWithOptions calls.
+	WarmStart WarmStart
 }
 
 // Options tunes the solver. The zero value selects sensible defaults.
@@ -190,6 +222,13 @@ type Options struct {
 	// Tol is the feasibility/optimality tolerance; ≤0 selects num.LPTol.
 	Tol float64
 }
+
+// Resolved returns the options with every zero field replaced by its default
+// for an m-row, n-variable problem. Callers that solve many related problems
+// (e.g. branch-and-bound node LPs) should resolve once up front and pass the
+// result to every solve, so a caller-supplied Tol or MaxIter is honored
+// identically on every path rather than re-defaulted per call.
+func (o Options) Resolved(m, n int) Options { return o.withDefaults(m, n) }
 
 func (o Options) withDefaults(m, n int) Options {
 	if o.MaxIter <= 0 {

@@ -192,6 +192,16 @@ func TestValidateErrors(t *testing.T) {
 		{C: []float64{1}, A: [][]float64{{1}}, Rel: []Rel{LE}, B: []float64{1, 2}},
 		{C: []float64{1}, A: [][]float64{{1}}, Rel: []Rel{LE}, B: []float64{1}, Lower: []float64{2}, Upper: []float64{1}},
 		{C: []float64{1}, A: [][]float64{{1}}, Rel: []Rel{LE}, B: []float64{math.NaN()}},
+		// Regression: NaN/Inf in C or A used to slip through validation and
+		// propagate silently through pricing.
+		{C: []float64{math.NaN()}, A: [][]float64{{1}}, Rel: []Rel{LE}, B: []float64{1}},
+		{C: []float64{math.Inf(1)}, A: [][]float64{{1}}, Rel: []Rel{LE}, B: []float64{1}},
+		{C: []float64{1}, A: [][]float64{{math.NaN()}}, Rel: []Rel{LE}, B: []float64{1}},
+		{C: []float64{1, 0}, A: [][]float64{{1, math.Inf(-1)}}, Rel: []Rel{LE}, B: []float64{1}},
+		{C: []float64{1}, A: [][]float64{{1}}, Rel: []Rel{LE}, B: []float64{1}, Lower: []float64{math.NaN()}},
+		// A [+Inf,+Inf] "interval" is no more solvable than an empty one.
+		{C: []float64{1}, A: [][]float64{{1}}, Rel: []Rel{LE}, B: []float64{1}, Lower: []float64{math.Inf(1)}},
+		{C: []float64{1}, A: [][]float64{{1}}, Rel: []Rel{LE}, B: []float64{1}, Lower: []float64{math.Inf(-1)}, Upper: []float64{math.Inf(-1)}},
 	}
 	for i, p := range bad {
 		if _, err := Solve(p); err == nil {

@@ -123,7 +123,9 @@ func (s *simplex) solve() (*Solution, error) {
 	if !feasible {
 		st := s.runPhase(true)
 		if st == StatusIterLimit {
-			return s.result(StatusIterLimit), nil
+			// The limit fired before feasibility: the partially-pivoted
+			// iterate is not a usable point, so X/Obj stay empty.
+			return s.result(StatusIterLimit, false), nil
 		}
 		art := 0.0
 		for i := 0; i < s.m; i++ {
@@ -138,13 +140,21 @@ func (s *simplex) solve() (*Solution, error) {
 			}
 		}
 		if art > num.FeasTol*scale {
-			sol := s.result(StatusInfeasible)
+			sol := s.result(StatusInfeasible, false)
 			sol.FarkasRay = s.dualVector(true)
 			return sol, nil
 		}
 		s.evictArtificials()
 	}
-	// Phase 2: lock artificials to zero and restore the true objective.
+	return s.solvePhase2()
+}
+
+// solvePhase2 locks the artificial columns at zero, restores the true
+// objective, and optimises from the current primal-feasible basis. It is the
+// shared tail of the cold path (after phase 1) and the warm path (after
+// installBasis / runRepair); an optimal solution carries a Basis snapshot so
+// the caller can warm-start neighbouring problems.
+func (s *simplex) solvePhase2() (*Solution, error) {
 	for i := 0; i < s.m; i++ {
 		j := s.nTot + i
 		s.lo[j], s.hi[j] = 0, 0
@@ -155,9 +165,10 @@ func (s *simplex) solve() (*Solution, error) {
 		}
 	}
 	st := s.runPhase(false)
-	sol := s.result(st)
+	sol := s.result(st, true)
 	if st == StatusOptimal {
 		sol.Duals = s.dualVector(false)
+		sol.Basis = s.snapshotBasis()
 	}
 	return sol, nil
 }
@@ -310,7 +321,7 @@ func (s *simplex) runPhase(phase1 bool) Status {
 		if enter < 0 {
 			return StatusOptimal // no improving column
 		}
-		st := s.pivot(enter, dir, phase1, tol)
+		st := s.pivot(enter, dir, false, tol)
 		if st != statusPivotOK {
 			if st == statusPivotUnbounded {
 				return StatusUnbounded
@@ -375,8 +386,12 @@ const (
 )
 
 // pivot advances the entering column j in direction dir, performing either a
-// bound flip or a basis exchange.
-func (s *simplex) pivot(j int, dir float64, phase1 bool, tol float64) pivotStatus {
+// bound flip or a basis exchange. In repair mode (the restricted shifted
+// phase 1 run by runRepair) basic columns that violate a bound block only at
+// the bound they violate — crossing it would flip their ±1 infeasibility
+// cost mid-step — while feasible basics block as in a normal phase, so the
+// repair never trades one violation for another.
+func (s *simplex) pivot(j int, dir float64, repair bool, tol float64) pivotStatus {
 	// w = B⁻¹ A_j.
 	col := make([]float64, s.m)
 	s.colInto(j, col)
@@ -401,13 +416,26 @@ func (s *simplex) pivot(j int, dir float64, phase1 bool, tol float64) pivotStatu
 		bj := s.basis[i]
 		var t float64
 		var hit varStatus
-		if g > 0 { // basic value decreases toward its lower bound
+		switch {
+		case repair && s.xval[bj] < s.lo[bj]-num.FeasTol:
+			if g > 0 {
+				continue // moving further below its lower bound never blocks
+			}
+			t = (s.xval[bj] - s.lo[bj]) / g
+			hit = statusAtLower
+		case repair && s.xval[bj] > s.hi[bj]+num.FeasTol:
+			if g < 0 {
+				continue // moving further above its upper bound never blocks
+			}
+			t = (s.xval[bj] - s.hi[bj]) / g
+			hit = statusAtUpper
+		case g > 0: // basic value decreases toward its lower bound
 			if math.IsInf(s.lo[bj], -1) {
 				continue
 			}
 			t = (s.xval[bj] - s.lo[bj]) / g
 			hit = statusAtLower
-		} else { // basic value increases toward its upper bound
+		default: // basic value increases toward its upper bound
 			if math.IsInf(s.hi[bj], 1) {
 				continue
 			}
@@ -502,12 +530,20 @@ func (s *simplex) noteDegeneracy(t, tol float64) {
 }
 
 // refresh refactorises B⁻¹ from scratch and recomputes basic values,
-// containing accumulated floating-point drift.
+// containing accumulated floating-point drift. A numerically singular basis
+// keeps the incrementally updated inverse and values untouched.
 func (s *simplex) refresh() {
+	if !s.invertBasis() {
+		return
+	}
+	s.computeBasicValues()
+}
+
+// invertBasis rebuilds B⁻¹ from the current basis columns via Gauss–Jordan
+// with partial pivoting. It reports false — leaving s.binv untouched — when
+// the basis matrix is numerically singular.
+func (s *simplex) invertBasis() bool {
 	m := s.m
-	// Build the basis matrix and invert via Gauss–Jordan with partial
-	// pivoting. If the basis is (numerically) singular we keep the
-	// incrementally updated inverse.
 	mat := make([][]float64, m)
 	for i := 0; i < m; i++ {
 		mat[i] = make([]float64, 2*m)
@@ -530,7 +566,7 @@ func (s *simplex) refresh() {
 			}
 		}
 		if p < 0 {
-			return // singular: keep current inverse
+			return false // singular
 		}
 		mat[c], mat[p] = mat[p], mat[c]
 		//lint:ignore rentlint/nanprop partial pivoting just swapped a row with |entry| > num.SingularTol into position c
@@ -551,9 +587,14 @@ func (s *simplex) refresh() {
 	for i := 0; i < m; i++ {
 		copy(s.binv[i], mat[i][m:])
 	}
-	// Recompute basic values: x_B = B⁻¹ (b − N x_N). Nonbasic slack and
-	// artificial columns always rest at exactly 0 (their only finite bound),
-	// so only structural columns contribute.
+	return true
+}
+
+// computeBasicValues recomputes x_B = B⁻¹ (b − N x_N) from the nonbasic rest
+// values. Nonbasic slack and artificial columns always rest at exactly 0
+// (their only finite bound), so only structural columns contribute.
+func (s *simplex) computeBasicValues() {
+	m := s.m
 	r := make([]float64, m)
 	copy(r, s.p.B)
 	for j := 0; j < s.n; j++ {
@@ -578,9 +619,15 @@ func (s *simplex) refresh() {
 	}
 }
 
-func (s *simplex) result(st Status) *Solution {
+// result assembles a Solution. feasiblePoint reports whether the current
+// iterate satisfies the constraints and bounds; X/Obj are exported only for
+// a proven optimum or for an iteration limit that fired at a feasible
+// (phase-2) point — a limit mid-phase-1 or mid-repair must not leak a
+// partially-pivoted iterate that downstream pruning could mistake for a
+// valid bound.
+func (s *simplex) result(st Status, feasiblePoint bool) *Solution {
 	sol := &Solution{Status: st, Iterations: s.iters}
-	if st == StatusOptimal || st == StatusIterLimit {
+	if st == StatusOptimal || (st == StatusIterLimit && feasiblePoint) {
 		sol.X = make([]float64, s.n)
 		obj := 0.0
 		for j := 0; j < s.n; j++ {

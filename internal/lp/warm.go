@@ -1,0 +1,344 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+
+	"rentplan/internal/num"
+)
+
+// WarmStart classifies how a solve used a caller-supplied basis.
+type WarmStart int8
+
+const (
+	// WarmNone means no basis was involved (plain Solve/SolveWithOptions).
+	WarmNone WarmStart = iota
+	// WarmHit means the supplied basis was primal feasible for the new
+	// problem as-is, so both phase 1 and repair were skipped entirely.
+	WarmHit
+	// WarmMiss means the basis was installed but bound violations had to be
+	// repaired by the restricted shifted phase 1 before phase 2 could run.
+	WarmMiss
+	// WarmFallback means the basis was unusable (malformed, stale, or
+	// singular) or the repair stalled, and the exact cold two-phase path
+	// produced the result instead.
+	WarmFallback
+)
+
+func (w WarmStart) String() string {
+	switch w {
+	case WarmNone:
+		return "none"
+	case WarmHit:
+		return "hit"
+	case WarmMiss:
+		return "miss"
+	case WarmFallback:
+		return "fallback"
+	}
+	return fmt.Sprintf("WarmStart(%d)", int8(w))
+}
+
+// SolveFrom minimises the problem starting from a basis snapshot taken from
+// an optimal solve of a nearby problem — typically the parent node of a
+// branch-and-bound child that differs by a single variable bound. The basis
+// is re-factorised, bound violations introduced by the changed bounds are
+// repaired by a shifted phase 1 restricted to the violated columns, and
+// phase 2 then optimises as usual.
+//
+// SolveFrom is exactly as safe as a cold solve: whenever the basis is
+// malformed, stale, numerically singular, or the repair fails to make
+// progress, it silently falls back to the cold two-phase path, whose proven
+// optima are bit-identical to SolveWithOptions. The outcome of the warm
+// attempt is reported in Solution.WarmStart.
+func SolveFrom(p *Problem, basis *Basis, opts Options) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadProblem, err)
+	}
+	opts = opts.withDefaults(p.NumRows(), p.NumVars())
+	s := newSimplex(p, opts)
+	switch s.installBasis(basis) {
+	case warmInstallFailed:
+		return coldFallback(p, opts, 0)
+	case warmInstallOK:
+		sol, err := s.solvePhase2()
+		if err == nil {
+			sol.WarmStart = WarmHit
+		}
+		return sol, err
+	}
+	switch s.runRepair() {
+	case repairDone:
+		sol, err := s.solvePhase2()
+		if err == nil {
+			sol.WarmStart = WarmMiss
+		}
+		return sol, err
+	case repairIterLimit:
+		// The caller's pivot budget ran out before feasibility was restored:
+		// report the limit without a usable point, exactly like a cold solve
+		// whose limit fires mid-phase-1.
+		sol := s.result(StatusIterLimit, false)
+		sol.WarmStart = WarmMiss
+		return sol, nil
+	default: // repairStalled
+		// Never conclude anything from a stalled repair — the restricted
+		// subproblem can be at a spurious optimum. Let the exact cold
+		// phase 1 decide feasibility.
+		return coldFallback(p, opts, s.iters)
+	}
+}
+
+// coldFallback runs the cold two-phase path and accounts the pivots already
+// spent on the abandoned warm attempt, so iteration statistics stay honest.
+func coldFallback(p *Problem, opts Options, spent int) (*Solution, error) {
+	s := newSimplex(p, opts)
+	sol, err := s.solve()
+	if err != nil {
+		return nil, err
+	}
+	sol.Iterations += spent
+	sol.WarmStart = WarmFallback
+	return sol, nil
+}
+
+// warmInstall is the outcome of installing a basis snapshot.
+type warmInstall int8
+
+const (
+	// warmInstallOK: basis factorised and primal feasible as-is.
+	warmInstallOK warmInstall = iota
+	// warmNeedsRepair: basis factorised but some basic values violate the
+	// (possibly changed) bounds and need repair.
+	warmNeedsRepair
+	// warmInstallFailed: snapshot malformed or basis numerically singular;
+	// caller must fall back to the cold path.
+	warmInstallFailed
+)
+
+// installBasis loads a basis snapshot into the simplex: basic columns into
+// the rows that own them, nonbasic columns at their recorded rest bound
+// re-clamped to the current problem's bounds (a branching change may have
+// moved or removed the bound a column rested on), artificials locked at
+// zero, and B⁻¹ re-factorised from scratch. Every structural deviation —
+// wrong dimensions, out-of-range or duplicate columns, inconsistent
+// status entries, unknown status values, a singular basis matrix —
+// fails the install rather than risking a corrupt start.
+func (s *simplex) installBasis(b *Basis) warmInstall {
+	if b == nil || len(b.Columns) != s.m || len(b.Status) != s.nTot {
+		return warmInstallFailed
+	}
+	// Artificials rest locked at zero; dependent-row placeholders below
+	// re-enter them as zero-fixed basic columns exactly as phase 1 left them.
+	for i := 0; i < s.m; i++ {
+		s.artSgn[i] = 1
+		aj := s.nTot + i
+		s.lo[aj], s.hi[aj] = 0, 0
+		s.xval[aj] = 0
+		s.stat[aj] = statusAtLower
+		s.inRow[aj] = -1
+	}
+	for j := 0; j < s.nTot; j++ {
+		s.inRow[j] = -1
+	}
+	for i, j := range b.Columns {
+		if j == -1 {
+			j = s.nTot + i // linearly dependent row: artificial stays basic
+		} else if j < 0 || j >= s.nTot {
+			return warmInstallFailed
+		}
+		if s.inRow[j] >= 0 {
+			return warmInstallFailed // duplicate basic column
+		}
+		s.basis[i] = j
+		s.inRow[j] = i
+		s.stat[j] = statusBasic
+	}
+	for j := 0; j < s.nTot; j++ {
+		st, ok := importStatus(b.Status[j])
+		if !ok {
+			return warmInstallFailed
+		}
+		if st == statusBasic {
+			if s.inRow[j] < 0 {
+				return warmInstallFailed // claimed basic, absent from Columns
+			}
+			continue
+		}
+		if s.inRow[j] >= 0 {
+			return warmInstallFailed // in Columns yet marked nonbasic
+		}
+		var v float64
+		switch st {
+		case statusAtLower:
+			if math.IsInf(s.lo[j], -1) {
+				v, st = s.nonbasicRest(j)
+			} else {
+				v = s.lo[j]
+			}
+		case statusAtUpper:
+			if math.IsInf(s.hi[j], 1) {
+				v, st = s.nonbasicRest(j)
+			} else {
+				v = s.hi[j]
+			}
+		default: // statusFree
+			v, st = s.nonbasicRest(j)
+		}
+		s.xval[j], s.stat[j] = v, st
+	}
+	if !s.invertBasis() {
+		return warmInstallFailed
+	}
+	s.computeBasicValues()
+	if s.countViolations() == 0 {
+		return warmInstallOK
+	}
+	return warmNeedsRepair
+}
+
+// countViolations reports how many basic columns violate their bounds by
+// more than num.FeasTol.
+func (s *simplex) countViolations() int {
+	viol := 0
+	for _, j := range s.basis {
+		if s.xval[j] < s.lo[j]-num.FeasTol || s.xval[j] > s.hi[j]+num.FeasTol {
+			viol++
+		}
+	}
+	return viol
+}
+
+// repairOutcome is the result of the restricted shifted phase 1.
+type repairOutcome int8
+
+const (
+	// repairDone: every basic column is back within its bounds.
+	repairDone repairOutcome = iota
+	// repairIterLimit: the caller's MaxIter budget ran out mid-repair.
+	repairIterLimit
+	// repairStalled: no improving column, an unbounded repair ray, or the
+	// repair budget exhausted while violations remain; the caller must fall
+	// back to the exact cold phase 1 — a stalled repair proves nothing.
+	repairStalled
+)
+
+// runRepair drives the basic bound violations introduced by a branching
+// change back to zero with a shifted phase 1 restricted to the violated
+// columns: each iteration assigns dynamic ±1 infeasibility costs to exactly
+// the violated basic columns (−1 below the lower bound, +1 above the upper),
+// prices every nonbasic column against that objective, and pivots with the
+// repair-mode ratio test (see pivot), under which a violated column blocks
+// only at the bound it violates and feasible columns block as usual. The
+// infeasibility measure is monotonically non-increasing; a stall — pricing
+// finds no improving column, the ray is unbounded, or the repair budget runs
+// out under degenerate cycling — is reported for a cold fallback, never
+// interpreted as infeasibility.
+func (s *simplex) runRepair() repairOutcome {
+	tol := s.opts.Tol
+	// The repair normally needs a handful of pivots (one bound moved); the
+	// budget is a generous backstop against degenerate cycling.
+	budget := s.iters + 4*(s.m+s.n) + 100
+	for {
+		// y = d_B B⁻¹ for the dynamic infeasibility costs d.
+		viol := 0
+		for k := 0; k < s.m; k++ {
+			s.y[k] = 0
+		}
+		for i := 0; i < s.m; i++ {
+			bj := s.basis[i]
+			var d float64
+			switch {
+			case s.xval[bj] < s.lo[bj]-num.FeasTol:
+				d = -1
+			case s.xval[bj] > s.hi[bj]+num.FeasTol:
+				d = 1
+			default:
+				continue
+			}
+			viol++
+			row := s.binv[i]
+			for k := 0; k < s.m; k++ {
+				s.y[k] += d * row[k]
+			}
+		}
+		if viol == 0 {
+			return repairDone
+		}
+		if s.iters >= s.opts.MaxIter {
+			return repairIterLimit
+		}
+		if s.iters >= budget {
+			return repairStalled
+		}
+		// acc = yᵀA over structural columns (row sweep for locality).
+		for j := 0; j < s.n; j++ {
+			s.acc[j] = 0
+		}
+		for i := 0; i < s.m; i++ {
+			yi := s.y[i]
+			if yi == 0 { //lint:ignore rentlint/floatcmp exact-zero skip: a zero dual multiplies every entry of the row to zero
+				continue
+			}
+			row := s.p.A[i]
+			for j := 0; j < s.n; j++ {
+				s.acc[j] += yi * row[j]
+			}
+		}
+		enter, dir := s.priceRepair(tol)
+		if enter < 0 {
+			return repairStalled
+		}
+		if st := s.pivot(enter, dir, true, tol); st != statusPivotOK {
+			return repairStalled
+		}
+		s.iters++
+	}
+}
+
+// priceRepair selects an entering column for the repair objective, whose
+// reduced cost over nonbasic column j is r_j = −(d_B B⁻¹ A_j): the rate of
+// change of the total bound violation per unit increase of x_j. Mirrors
+// priceEntering, including Bland's rule under degeneracy.
+func (s *simplex) priceRepair(tol float64) (int, float64) {
+	bestJ, bestDir, bestScore := -1, 0.0, tol
+	for j := 0; j < s.nTot; j++ { // artificials never re-enter
+		//lint:ignore rentlint/floatcmp fixed columns have lo and hi assigned from the same value; the check must match that exactly
+		if s.stat[j] == statusBasic || s.lo[j] == s.hi[j] {
+			continue
+		}
+		var r float64
+		if j < s.n {
+			r = -s.acc[j]
+		} else {
+			r = -s.y[j-s.n]
+		}
+		var dir, score float64
+		switch s.stat[j] {
+		case statusAtLower:
+			if r < -tol {
+				dir, score = 1, -r
+			}
+		case statusAtUpper:
+			if r > tol {
+				dir, score = -1, r
+			}
+		case statusFree:
+			if r < -tol {
+				dir, score = 1, -r
+			} else if r > tol {
+				dir, score = -1, r
+			}
+		}
+		if dir == 0 { //lint:ignore rentlint/floatcmp dir is a ±1/0 sentinel assigned literally above, never computed
+			continue
+		}
+		if s.bland {
+			return j, dir // first eligible index
+		}
+		if score > bestScore {
+			bestJ, bestDir, bestScore = j, dir, score
+		}
+	}
+	return bestJ, bestDir
+}

@@ -120,6 +120,11 @@ type Options struct {
 	Rule BranchRule
 	// DisableHeuristic turns off the rounding primal heuristic.
 	DisableHeuristic bool
+	// NoWarmStart disables basis warm-starting of child node relaxations,
+	// forcing every node onto the cold two-phase simplex path. Results are
+	// identical either way; the switch exists for A/B benchmarking and for
+	// isolating the warm-start machinery when debugging.
+	NoWarmStart bool
 	// Workers is the number of branch-and-bound workers; ≤0 selects
 	// runtime.GOMAXPROCS(0). Workers = 1 preserves the deterministic
 	// serial search order.
@@ -178,6 +183,11 @@ type node struct {
 	lower, upper []float64 // variable bound overrides
 	bound        float64   // parent LP objective (lower bound)
 	depth        int
+
+	// basis is the parent's optimal LP basis, used to warm-start this node's
+	// relaxation. A Basis is immutable, so siblings (and workers) share the
+	// same snapshot without copying; nil at the root forces a cold solve.
+	basis *lp.Basis
 
 	// branching provenance, used to update pseudo-costs when the node's own
 	// relaxation is solved. branchVar < 0 at the root.
@@ -239,8 +249,19 @@ type bnb struct {
 	baseLower, baseUpper []float64 // original variable bounds (nil-expanded)
 	rowAbs               []float64 // Σ_j |A_ij| per row: snap-tolerance scale
 
+	lpOpts lp.Options // node LP options, resolved once at solve start
+
 	iters   atomic.Int64  // simplex pivots across all node LPs
 	incBits atomic.Uint64 // float bits of the incumbent objective (+Inf = none)
+
+	// warm-start accounting: how each node LP was dispatched and how many
+	// pivots each dispatch class consumed.
+	warmHits      atomic.Int64
+	warmMisses    atomic.Int64
+	warmFallbacks atomic.Int64
+	warmIters     atomic.Int64
+	coldNodes     atomic.Int64
+	coldIters     atomic.Int64
 
 	psUp, psDown   []atomicFloat64
 	psUpN, psDownN []atomic.Int64
@@ -252,6 +273,7 @@ type bnb struct {
 	stopped     bool // terminal: limit, unboundedness or exhaustion
 	limitHit    bool
 	unbounded   bool
+	lostBound   float64 // min bound over subtrees dropped at an LP iteration limit; +Inf if none
 	nodes       int
 	workerNodes []int
 	inflight    []float64 // per-worker bound of the subtree being plunged; +Inf idle
@@ -266,7 +288,11 @@ type bnb struct {
 
 func newBnB(p *Problem, opts Options) *bnb {
 	n := p.LP.NumVars()
-	b := &bnb{p: p, opts: opts, start: now(), incObj: math.Inf(1)}
+	b := &bnb{p: p, opts: opts, start: now(), incObj: math.Inf(1), lostBound: math.Inf(1)}
+	// Resolve the LP options exactly once so a caller-supplied Tol or
+	// MaxIter reaches every node identically on both the warm and the cold
+	// dispatch paths, instead of being re-defaulted per node.
+	b.lpOpts = opts.LP.Resolved(p.LP.NumRows(), n)
 	b.cond = sync.NewCond(&b.mu)
 	b.incBits.Store(math.Float64bits(math.Inf(1)))
 	b.psUp = make([]atomicFloat64, n)
@@ -426,6 +452,19 @@ func (b *bnb) pushNode(nd *node) {
 	b.mu.Unlock()
 }
 
+// recordLost accounts a subtree dropped because its relaxation hit the LP
+// iteration limit: the search can no longer prove anything below the
+// subtree's entry bound, so that bound caps the final proven bound and the
+// stop is flagged as a limit rather than an exhaustive proof.
+func (b *bnb) recordLost(bound float64) {
+	b.mu.Lock()
+	b.limitHit = true
+	if bound < b.lostBound {
+		b.lostBound = bound
+	}
+	b.mu.Unlock()
+}
+
 func (b *bnb) markUnbounded() {
 	b.mu.Lock()
 	b.unbounded = true
@@ -442,14 +481,16 @@ func (b *bnb) currentIncumbent() (float64, bool) {
 
 func (b *bnb) finish() *Solution {
 	// Workers have exited; every interrupted plunge pushed its subtree back,
-	// so the heap holds exactly the unexplored frontier.
-	mn := math.Inf(1)
+	// so the heap holds exactly the unexplored frontier — plus any subtree
+	// recorded as lost when its relaxation hit the LP iteration limit.
+	mn := b.lostBound
 	for _, nd := range b.open {
 		if nd.bound < mn {
 			mn = nd.bound
 		}
 	}
-	if len(b.open) == 0 && !b.unbounded {
+	frontier := len(b.open) > 0 || !math.IsInf(b.lostBound, 1)
+	if !frontier && !b.unbounded {
 		// An empty frontier means the tree was fully explored; a limit that
 		// fired in the same instant proved nothing weaker.
 		b.limitHit = false
@@ -458,8 +499,8 @@ func (b *bnb) finish() *Solution {
 	switch {
 	case b.unbounded:
 		bound = math.Inf(-1)
-	case len(b.open) > 0:
-		bound = mn // true minimum over the open frontier
+	case frontier:
+		bound = mn // true minimum over the open frontier and lost subtrees
 		if b.hasInc && bound > b.incObj {
 			bound = b.incObj // frontier dominated: the incumbent is the proof
 		}
@@ -529,11 +570,31 @@ func (b *bnb) processNode(id int, work *lp.Problem, nd *node) {
 		}
 		copy(work.Lower, nd.lower)
 		copy(work.Upper, nd.upper)
-		sol, err := lp.SolveWithOptions(work, b.opts.LP)
+		var sol *lp.Solution
+		var err error
+		if nd.basis != nil && !b.opts.NoWarmStart {
+			sol, err = lp.SolveFrom(work, nd.basis, b.lpOpts)
+		} else {
+			sol, err = lp.SolveWithOptions(work, b.lpOpts)
+		}
 		if err != nil {
 			return
 		}
 		b.iters.Add(int64(sol.Iterations))
+		switch sol.WarmStart {
+		case lp.WarmHit:
+			b.warmHits.Add(1)
+			b.warmIters.Add(int64(sol.Iterations))
+		case lp.WarmMiss:
+			b.warmMisses.Add(1)
+			b.warmIters.Add(int64(sol.Iterations))
+		case lp.WarmFallback:
+			b.warmFallbacks.Add(1)
+			b.warmIters.Add(int64(sol.Iterations))
+		default:
+			b.coldNodes.Add(1)
+			b.coldIters.Add(int64(sol.Iterations))
+		}
 		switch sol.Status {
 		case lp.StatusInfeasible:
 			return
@@ -546,7 +607,12 @@ func (b *bnb) processNode(id int, work *lp.Problem, nd *node) {
 			// this subtree's integrality restrictions.
 			return
 		case lp.StatusIterLimit:
-			return // bound unknown: prune conservatively
+			// The subtree's true bound is unknown: its LP never finished, so
+			// dropping it silently would let finish() claim a proven optimum
+			// it does not have. Record the parent bound as "lost" so the
+			// final bound and status account for the unexplored subtree.
+			b.recordLost(nd.bound)
+			return
 		}
 		if nd.branchVar >= 0 && !math.IsInf(nd.bound, -1) {
 			// Pseudo-cost update: per-unit objective degradation of the
@@ -577,14 +643,14 @@ func (b *bnb) processNode(id int, work *lp.Problem, nd *node) {
 		down := &node{
 			lower: append([]float64(nil), nd.lower...),
 			upper: append([]float64(nil), nd.upper...),
-			bound: sol.Obj, depth: nd.depth + 1,
+			bound: sol.Obj, depth: nd.depth + 1, basis: sol.Basis,
 			branchVar: frac, branchUp: false, branchFrac: fpart,
 		}
 		down.upper[frac] = fl
 		up := &node{
 			lower: append([]float64(nil), nd.lower...),
 			upper: append([]float64(nil), nd.upper...),
-			bound: sol.Obj, depth: nd.depth + 1,
+			bound: sol.Obj, depth: nd.depth + 1, basis: sol.Basis,
 			branchVar: frac, branchUp: true, branchFrac: fpart,
 		}
 		up.lower[frac] = fl + 1
@@ -763,10 +829,11 @@ func (b *bnb) feasible(x []float64, scaled bool) bool {
 }
 
 // boundLocked returns the best proven lower bound at this instant: the
-// minimum over the open frontier and every in-flight subtree.
+// minimum over the open frontier, every in-flight subtree, and any subtree
+// lost to an LP iteration limit.
 func (b *bnb) boundLocked() float64 {
-	mn := math.Inf(1)
-	if len(b.open) > 0 {
+	mn := b.lostBound
+	if len(b.open) > 0 && b.open[0].bound < mn {
 		mn = b.open[0].bound
 	}
 	for _, f := range b.inflight {
@@ -783,15 +850,21 @@ func (b *bnb) boundLocked() float64 {
 func (b *bnb) snapshotLocked() Stats {
 	el := since(b.start)
 	st := Stats{
-		Elapsed:      el,
-		Nodes:        b.nodes,
-		SimplexIters: b.iters.Load(),
-		OpenNodes:    len(b.open),
-		Workers:      len(b.workerNodes),
-		WorkerNodes:  append([]int(nil), b.workerNodes...),
-		HasIncumbent: b.hasInc,
-		Incumbent:    b.incObj,
-		Incumbents:   append([]IncumbentRecord(nil), b.history...),
+		Elapsed:       el,
+		Nodes:         b.nodes,
+		SimplexIters:  b.iters.Load(),
+		OpenNodes:     len(b.open),
+		Workers:       len(b.workerNodes),
+		WorkerNodes:   append([]int(nil), b.workerNodes...),
+		HasIncumbent:  b.hasInc,
+		Incumbent:     b.incObj,
+		Incumbents:    append([]IncumbentRecord(nil), b.history...),
+		WarmHits:      b.warmHits.Load(),
+		WarmMisses:    b.warmMisses.Load(),
+		WarmFallbacks: b.warmFallbacks.Load(),
+		WarmIters:     b.warmIters.Load(),
+		ColdNodes:     b.coldNodes.Load(),
+		ColdIters:     b.coldIters.Load(),
 	}
 	if s := el.Seconds(); s > 0 {
 		st.NodesPerSec = float64(b.nodes) / s

@@ -49,6 +49,25 @@ type Stats struct {
 	// Incumbents is the incumbent trajectory so far; together with the
 	// Bound recorded per entry it traces the gap over time.
 	Incumbents []IncumbentRecord
+
+	// Warm-start accounting over node relaxations. Every solved node falls
+	// into exactly one class — WarmHits + WarmMisses + WarmFallbacks +
+	// ColdNodes == Nodes — so the per-node simplex-iteration averages
+	// WarmIters/(WarmHits+WarmMisses+WarmFallbacks) and ColdIters/ColdNodes
+	// expose the warm-start saving directly.
+	//
+	// WarmHits counts nodes whose inherited basis was feasible as-is (phase 1
+	// skipped outright), WarmMisses nodes that needed the restricted bound
+	// repair first, and WarmFallbacks nodes where the warm attempt was
+	// abandoned for the cold path. ColdNodes counts nodes dispatched cold
+	// from the start: the root, and every node when Options.NoWarmStart is
+	// set. WarmIters and ColdIters split SimplexIters along the same line.
+	WarmHits      int64
+	WarmMisses    int64
+	WarmFallbacks int64
+	WarmIters     int64
+	ColdNodes     int64
+	ColdIters     int64
 }
 
 // relGap returns |obj−bound| / max(1,|obj|), or +Inf when either side is

@@ -1,0 +1,181 @@
+package mip
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rentplan/internal/lp"
+)
+
+// checkWarmAccounting asserts the Stats dispatch invariant: every solved
+// node is counted in exactly one warm/cold class, and the iteration split
+// covers all simplex pivots.
+func checkWarmAccounting(t *testing.T, st Stats) {
+	t.Helper()
+	total := st.WarmHits + st.WarmMisses + st.WarmFallbacks + st.ColdNodes
+	if total != int64(st.Nodes) {
+		t.Fatalf("warm accounting: hits %d + misses %d + fallbacks %d + cold %d = %d, want Nodes = %d",
+			st.WarmHits, st.WarmMisses, st.WarmFallbacks, st.ColdNodes, total, st.Nodes)
+	}
+	if st.WarmIters+st.ColdIters != st.SimplexIters {
+		t.Fatalf("iteration accounting: warm %d + cold %d != total %d",
+			st.WarmIters, st.ColdIters, st.SimplexIters)
+	}
+}
+
+// TestWarmVsColdAgreement runs the MILP corpus with warm starts on and off,
+// across workers={1,4}, and requires the identical proven optimum.
+func TestWarmVsColdAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(314))
+	corpus := []*Problem{
+		knapsackInstance(rng, 14),
+		knapsackInstance(rng, 20),
+		lotSizingInstance(rng, 5),
+		lotSizingInstance(rng, 7),
+	}
+	for pi, p := range corpus {
+		coldSol, err := SolveWithOptions(p, Options{Workers: 1, NoWarmStart: true})
+		if err != nil {
+			t.Fatalf("instance %d cold: %v", pi, err)
+		}
+		if coldSol.Status != StatusOptimal {
+			t.Fatalf("instance %d cold status %v", pi, coldSol.Status)
+		}
+		if coldSol.Stats.WarmHits+coldSol.Stats.WarmMisses+coldSol.Stats.WarmFallbacks != 0 {
+			t.Fatalf("instance %d: NoWarmStart run recorded warm dispatches: %+v", pi, coldSol.Stats)
+		}
+		checkWarmAccounting(t, coldSol.Stats)
+		for _, workers := range []int{1, 4} {
+			warmSol, err := SolveWithOptions(p, Options{Workers: workers})
+			if err != nil {
+				t.Fatalf("instance %d workers %d: %v", pi, workers, err)
+			}
+			if warmSol.Status != StatusOptimal {
+				t.Fatalf("instance %d workers %d: status %v", pi, workers, warmSol.Status)
+			}
+			if math.Abs(warmSol.Obj-coldSol.Obj) > 1e-6 {
+				t.Fatalf("instance %d workers %d: warm obj %.9f, cold obj %.9f",
+					pi, workers, warmSol.Obj, coldSol.Obj)
+			}
+			checkWarmAccounting(t, warmSol.Stats)
+			if warmSol.Stats.WarmHits+warmSol.Stats.WarmMisses == 0 && warmSol.Stats.Nodes > 1 {
+				t.Fatalf("instance %d workers %d: warm start never engaged: %+v", pi, workers, warmSol.Stats)
+			}
+		}
+	}
+}
+
+// TestWarmStartReducesIterations pins the point of the whole exercise: on a
+// branching-heavy instance, warm-started search must spend measurably fewer
+// simplex pivots per node than the cold search while proving the same
+// optimum.
+func TestWarmStartReducesIterations(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	p := lotSizingInstance(rng, 8)
+	warm, err := SolveWithOptions(p, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := SolveWithOptions(p, Options{Workers: 1, NoWarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Status != StatusOptimal || cold.Status != StatusOptimal {
+		t.Fatalf("status warm=%v cold=%v", warm.Status, cold.Status)
+	}
+	if math.Abs(warm.Obj-cold.Obj) > 1e-6 {
+		t.Fatalf("objective mismatch: warm %.9f cold %.9f", warm.Obj, cold.Obj)
+	}
+	if warm.Stats.SimplexIters >= cold.Stats.SimplexIters {
+		t.Fatalf("warm start saved nothing: warm %d iters, cold %d iters (warm stats %+v)",
+			warm.Stats.SimplexIters, cold.Stats.SimplexIters, warm.Stats)
+	}
+	t.Logf("simplex iters: warm %d vs cold %d (%.0f%% saved); hits=%d misses=%d fallbacks=%d",
+		warm.Stats.SimplexIters, cold.Stats.SimplexIters,
+		100*(1-float64(warm.Stats.SimplexIters)/float64(cold.Stats.SimplexIters)),
+		warm.Stats.WarmHits, warm.Stats.WarmMisses, warm.Stats.WarmFallbacks)
+}
+
+// TestCustomLPTolReachesNodes pins the options-resolution bugfix: a caller-
+// supplied LP tolerance must actually reach the node solves instead of being
+// replaced by the default during per-node re-resolution. A deliberately
+// absurd tolerance makes the node simplex accept its starting rest point as
+// "optimal", which is observable as an objective of zero on a knapsack whose
+// true optimum is strictly negative.
+func TestCustomLPTolReachesNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := knapsackInstance(rng, 12)
+	ref, err := SolveWithOptions(p, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Status != StatusOptimal || ref.Obj >= 0 {
+		t.Fatalf("reference solve: status %v obj %v, want negative optimum", ref.Status, ref.Obj)
+	}
+	for _, noWarm := range []bool{false, true} {
+		loose, err := SolveWithOptions(p, Options{Workers: 1, NoWarmStart: noWarm, LP: lp.Options{Tol: 1e6}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loose.Status != StatusOptimal || loose.Obj != 0 {
+			t.Fatalf("noWarm=%v: loose-tolerance solve status %v obj %v, want the rest-point objective 0 — the custom Tol did not reach the node solves",
+				noWarm, loose.Status, loose.Obj)
+		}
+	}
+}
+
+// TestNodeIterLimitNoFalseOptimality pins the StatusIterLimit bugfix: when a
+// node LP dies at a tiny MaxIter its subtree's bound is unknown, so the
+// search must report a limit with an honest (infinite) bound — never a
+// "proven" infeasibility or optimality claim built on the lost subtree.
+func TestNodeIterLimitNoFalseOptimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := knapsackInstance(rng, 12)
+	sol, err := SolveWithOptions(p, Options{Workers: 1, LP: lp.Options{MaxIter: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The root (and every node) LP hits the 1-pivot limit, so nothing was
+	// proven: not optimality, not infeasibility.
+	if sol.Status == StatusOptimal || sol.Status == StatusInfeasible {
+		t.Fatalf("status %v claims a proof, but every node LP hit its iteration limit", sol.Status)
+	}
+	if !math.IsInf(sol.Bound, -1) {
+		t.Fatalf("bound %v, want -Inf: the lost root subtree admits no finite bound claim", sol.Bound)
+	}
+	if sol.Stats.Nodes > 0 && sol.Stats.SimplexIters == 0 {
+		t.Fatalf("MaxIter=1 did not reach the node solves: %+v", sol.Stats)
+	}
+}
+
+// TestWorkersAgreementWarm extends the workers-agreement property to the
+// warm-started search: the proven optimum must be identical for every worker
+// count, with warm starts enabled (the default).
+func TestWorkersAgreementWarm(t *testing.T) {
+	rng := rand.New(rand.NewSource(2718))
+	for trial := 0; trial < 6; trial++ {
+		var p *Problem
+		if trial%2 == 0 {
+			p = knapsackInstance(rng, 12+trial)
+		} else {
+			p = lotSizingInstance(rng, 4+trial)
+		}
+		ref, err := SolveWithOptions(p, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol4, err := SolveWithOptions(p, Options{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.Status != sol4.Status {
+			t.Fatalf("trial %d: status %v (1 worker) vs %v (4 workers)", trial, ref.Status, sol4.Status)
+		}
+		if ref.Status == StatusOptimal && math.Abs(ref.Obj-sol4.Obj) > 1e-6 {
+			t.Fatalf("trial %d: obj %.9f (1 worker) vs %.9f (4 workers)", trial, ref.Obj, sol4.Obj)
+		}
+		checkWarmAccounting(t, ref.Stats)
+		checkWarmAccounting(t, sol4.Stats)
+	}
+}
