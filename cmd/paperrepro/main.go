@@ -25,6 +25,7 @@ func main() {
 		out    = flag.String("out", "", "output file (default stdout)")
 		seed   = flag.Int64("seed", 7, "seed for the quick configuration")
 		noExt  = flag.Bool("no-extensions", false, "skip the beyond-the-paper extension studies")
+		budget = flag.Duration("budget", 0, "wall-clock budget per rolling re-solve in the Fig. 12 executors (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -38,6 +39,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	cfg.Budget = *budget
 
 	var w io.Writer = os.Stdout
 	if *out != "" {

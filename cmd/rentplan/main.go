@@ -1,11 +1,13 @@
 // Command rentplan solves a resource rental planning instance from the
-// command line: a deterministic DRRP plan over a fixed horizon, or a
-// stochastic SRRP plan on a bid-adjusted scenario tree.
+// command line: a deterministic DRRP plan over a fixed horizon, a stochastic
+// SRRP plan on a bid-adjusted scenario tree, or a full rolling-horizon
+// execution of the stochastic policy against a realised trace.
 //
 // Examples:
 //
 //	rentplan -model drrp -class m1.xlarge -horizon 24
 //	rentplan -model srrp -class c1.medium -stages 5 -bid 0.061 -days 60
+//	rentplan -model exec -class c1.medium -horizon 48 -budget 50ms
 //	rentplan -spec instance.json
 package main
 
@@ -26,7 +28,7 @@ import (
 
 func main() {
 	var (
-		model      = flag.String("model", "drrp", "planning model: drrp or srrp")
+		model      = flag.String("model", "drrp", "planning model: drrp, srrp, or exec (rolling-horizon execution)")
 		class      = flag.String("class", "c1.medium", "VM class (c1.medium, m1.large, m1.xlarge, c1.xlarge)")
 		horizon    = flag.Int("horizon", 24, "DRRP planning horizon in hours")
 		demandMean = flag.Float64("demand-mean", 0.4, "hourly demand mean (GB)")
@@ -41,7 +43,8 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit the plan as JSON")
 		specFile   = flag.String("spec", "", "solve a JSON instance file instead of using flags")
 		workers    = flag.Int("workers", 0, "branch-and-bound workers for MILP solves (0 = all cores, 1 = serial)")
-		verbose    = flag.Bool("verbose", false, "stream MILP solver progress to stderr")
+		verbose    = flag.Bool("verbose", false, "stream MILP solver progress (and exec degradations) to stderr")
+		budget     = flag.Duration("budget", 0, "wall-clock budget per rolling re-solve in exec mode (0 = unlimited); arms the degradation ladder")
 	)
 	flag.Parse()
 
@@ -156,8 +159,77 @@ func main() {
 		fmt.Printf("expected cost   : $%.4f\n", plan.ExpCost)
 		fmt.Printf("here-and-now    : rent=%v generate=%.3f GB\n", plan.RootRent, plan.RootAlpha)
 
+	case "exec":
+		gen, err := market.NewGenerator(market.VMClass(*class), *seed)
+		if err != nil {
+			fatal(err)
+		}
+		hourly, err := gen.Trace(*days).Hourly(0, *days*24)
+		if err != nil {
+			fatal(err)
+		}
+		if *horizon <= 0 || *horizon >= len(hourly) {
+			fatal(fmt.Errorf("exec horizon %d must lie inside the %dh trace", *horizon, len(hourly)))
+		}
+		hist := hourly[:len(hourly)-*horizon]
+		eval := hourly[len(hourly)-*horizon:]
+		base := stats.NewDiscreteFromSamples(hist, 1e-3)
+		b := *bid
+		if b <= 0 {
+			b = base.Mean()
+		}
+		bids := make([]float64, *horizon)
+		for i := range bids {
+			bids[i] = b
+		}
+		execCfg := &core.ExecConfig{
+			Par:        par,
+			Actual:     eval,
+			Demand:     dem[:*horizon],
+			Base:       base,
+			TreeStages: *stages,
+			MaxBranch:  *branch,
+			Budget:     *budget,
+		}
+		out, err := core.RunStochastic(execCfg, bids)
+		if err != nil {
+			fatal(err)
+		}
+		if *verbose {
+			for _, d := range out.Degradations {
+				fmt.Fprintf(os.Stderr, "rentplan: slot %d degraded to rung %s\n", d.Slot, d.Rung)
+			}
+		}
+		if *jsonOut {
+			emitJSON(map[string]interface{}{
+				"model": "exec", "class": *class, "bid": b, "budget": budget.String(),
+				"cost": out.Cost, "breakdown": out.Breakdown,
+				"rentSlots": out.RentSlots, "outOfBidSlots": out.OutOfBidSlots,
+				"replans": out.Replans, "degradations": out.Degradations,
+			})
+			return
+		}
+		fmt.Printf("rolling-horizon execution for %s over %dh (bid $%.4f, budget %v)\n",
+			*class, *horizon, b, *budget)
+		fmt.Printf("realised cost   : $%.4f\n", out.Cost)
+		fmt.Printf("  compute       : $%.4f\n", out.Breakdown.Compute)
+		fmt.Printf("  storage + I/O : $%.4f\n", out.Breakdown.Holding)
+		fmt.Printf("  transfer      : $%.4f\n", out.Breakdown.Transfer())
+		fmt.Printf("rented slots    : %d (%d out of bid)\n", out.RentSlots, out.OutOfBidSlots)
+		fmt.Printf("replans         : %d\n", out.Replans)
+		if n := len(out.Degradations); n > 0 {
+			counts := map[core.DegradeRung]int{}
+			for _, d := range out.Degradations {
+				counts[d.Rung]++
+			}
+			fmt.Printf("degraded replans: %d (incumbent %d, dp %d, on-demand %d)\n",
+				n, counts[core.RungIncumbent], counts[core.RungDP], counts[core.RungOnDemand])
+		} else {
+			fmt.Printf("degraded replans: 0\n")
+		}
+
 	default:
-		fatal(fmt.Errorf("unknown model %q (want drrp or srrp)", *model))
+		fatal(fmt.Errorf("unknown model %q (want drrp, srrp, or exec)", *model))
 	}
 }
 

@@ -6,11 +6,11 @@ import (
 	"strings"
 )
 
-// CheckedStatus flags call sites of lp.Solve / lp.SolveWithOptions /
-// lp.SolveFrom / mip.Solve / mip.SolveWithOptions that discard the outcome: the whole
-// result ignored, the error assigned to the blank identifier, or a Solution
-// whose fields are consumed without its Status ever being read in the same
-// function. A non-optimal status silently treated as optimal corrupts every
+// CheckedStatus flags call sites of the lp and mip solver entry points
+// (Solve, SolveWithOptions, SolveCtx, SolveFrom, SolveFromCtx) that discard
+// the outcome: the whole result ignored, the error assigned to the blank
+// identifier, or a Solution whose fields are consumed without its Status ever
+// being read in the same function. A non-optimal status silently treated as optimal corrupts every
 // downstream plan, so the status must be checked (or the call site annotated
 // when the check provably happens elsewhere).
 func CheckedStatus() *Analyzer {
@@ -65,7 +65,9 @@ func solveCallName(p *Pass, call *ast.CallExpr) string {
 	if sig, ok := obj.Type().(*types.Signature); !ok || sig.Recv() != nil {
 		return ""
 	}
-	if obj.Name() != "Solve" && obj.Name() != "SolveWithOptions" && obj.Name() != "SolveFrom" {
+	switch obj.Name() {
+	case "Solve", "SolveWithOptions", "SolveCtx", "SolveFrom", "SolveFromCtx":
+	default:
 		return ""
 	}
 	path := strings.TrimSuffix(obj.Pkg().Path(), "_test")

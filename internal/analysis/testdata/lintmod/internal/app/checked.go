@@ -1,6 +1,7 @@
 package app
 
 import (
+	"context"
 	"errors"
 
 	"example.com/lintmod/internal/lp"
@@ -80,6 +81,43 @@ func warmNoStatus(p *lp.Problem, b *lp.Basis) float64 {
 // warmChecked examines both the error and the status: true negative.
 func warmChecked(p *lp.Problem, b *lp.Basis) (float64, error) {
 	sol, err := lp.SolveFrom(p, b, lp.Options{})
+	if err != nil {
+		return 0, err
+	}
+	if sol.Status != lp.StatusOptimal {
+		return 0, errNotOptimal
+	}
+	return sol.Obj, nil
+}
+
+// ctxFireAndForget discards a context-threaded solve: true positive.
+func ctxFireAndForget(ctx context.Context, p *lp.Problem) {
+	lp.SolveCtx(ctx, p, lp.Options{}) // want rentlint/checkedstatus
+}
+
+// ctxNoStatus consumes a context-threaded solution without reading Status:
+// true positive.
+func ctxNoStatus(ctx context.Context, p *lp.Problem) float64 {
+	sol, err := lp.SolveCtx(ctx, p, lp.Options{}) // want rentlint/checkedstatus
+	if err != nil {
+		return 0
+	}
+	return sol.Obj
+}
+
+// warmCtxNoStatus consumes a warm context-threaded solution without reading
+// Status: true positive.
+func warmCtxNoStatus(ctx context.Context, p *lp.Problem, b *lp.Basis) float64 {
+	sol, err := lp.SolveFromCtx(ctx, p, b, lp.Options{}) // want rentlint/checkedstatus
+	if err != nil {
+		return 0
+	}
+	return sol.Obj
+}
+
+// ctxChecked examines both the error and the status: true negative.
+func ctxChecked(ctx context.Context, p *lp.Problem) (float64, error) {
+	sol, err := lp.SolveCtx(ctx, p, lp.Options{})
 	if err != nil {
 		return 0, err
 	}

@@ -1,7 +1,10 @@
 // Package lp is a miniature stub of the real solver interface: just enough
-// surface (Solve, SolveWithOptions, Solution.Status) for the analyzer corpus
-// to exercise checkedstatus, nanprop and the path-scoping rules.
+// surface (Solve, SolveWithOptions, SolveCtx, SolveFrom, SolveFromCtx,
+// Solution.Status) for the analyzer corpus to exercise checkedstatus,
+// nanprop and the path-scoping rules.
 package lp
+
+import "context"
 
 // Status reports the outcome of a solve.
 type Status int8
@@ -41,3 +44,13 @@ func SolveWithOptions(p *Problem, opts Options) (*Solution, error) { return &Sol
 
 // SolveFrom pretends to minimise the problem from a basis snapshot.
 func SolveFrom(p *Problem, b *Basis, opts Options) (*Solution, error) { return &Solution{}, nil }
+
+// SolveCtx pretends to minimise the problem under a context.
+func SolveCtx(ctx context.Context, p *Problem, opts Options) (*Solution, error) {
+	return &Solution{}, nil
+}
+
+// SolveFromCtx pretends to minimise from a basis snapshot under a context.
+func SolveFromCtx(ctx context.Context, p *Problem, b *Basis, opts Options) (*Solution, error) {
+	return &Solution{}, nil
+}

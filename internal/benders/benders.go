@@ -15,6 +15,7 @@
 package benders
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -131,6 +132,14 @@ type Result struct {
 
 // Solve runs the L-shaped method.
 func Solve(p *Problem, opts Options) (*Result, error) {
+	return SolveCtx(context.Background(), p, opts)
+}
+
+// SolveCtx runs the L-shaped method under a context: cancellation is checked
+// between master iterations and inside every master/recourse LP, and a
+// canceled run returns the context error (partial cut pools prove nothing).
+// A background context is bit-identical to Solve.
+func SolveCtx(ctx context.Context, p *Problem, opts Options) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -179,8 +188,11 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 	res := &Result{}
 	sub := &lp.Problem{}
 	for iter := 0; iter < opts.MaxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("benders: canceled after %d master iterations: %w", res.Iterations, err)
+		}
 		res.Iterations++
-		msol, err := lp.Solve(master)
+		msol, err := lp.SolveCtx(ctx, master, lp.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("benders: master: %w", err)
 		}
@@ -188,6 +200,8 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 		case lp.StatusOptimal:
 		case lp.StatusInfeasible:
 			return nil, errors.New("benders: master infeasible (first-stage constraints + cuts)")
+		case lp.StatusCanceled:
+			return nil, fmt.Errorf("benders: canceled in master iteration %d: %w", res.Iterations, ctx.Err())
 		default:
 			return nil, fmt.Errorf("benders: master status %v", msol.Status)
 		}
@@ -212,7 +226,7 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 			sub.B = rhs
 			sub.Lower = nil
 			sub.Upper = nil
-			ssol, err := lp.Solve(sub)
+			ssol, err := lp.SolveCtx(ctx, sub, lp.Options{})
 			if err != nil {
 				return nil, fmt.Errorf("benders: scenario %d: %w", k, err)
 			}
@@ -267,6 +281,8 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 				master.B = append(master.B, rhsF)
 				res.FeasCuts++
 				feasibilityCutAdded = true
+			case lp.StatusCanceled:
+				return nil, fmt.Errorf("benders: canceled in scenario %d recourse: %w", k, ctx.Err())
 			default:
 				return nil, fmt.Errorf("benders: scenario %d status %v", k, ssol.Status)
 			}
@@ -304,7 +320,7 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 		}
 	}
 	// Out of iterations: return the best-known point.
-	msol, err := lp.Solve(master)
+	msol, err := lp.SolveCtx(ctx, master, lp.Options{})
 	if err != nil || msol.Status != lp.StatusOptimal {
 		return nil, errors.New("benders: iteration limit without a usable master solution")
 	}

@@ -1,6 +1,7 @@
 package benders
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -51,6 +52,14 @@ type NestedResult struct {
 // equivalent at convergence (verified against the extensive form in tests)
 // and is a valid lower bound on the integer SRRP optimum.
 func SolveTreeLP(tp *lotsize.TreeProblem, opts NestedOptions) (*NestedResult, error) {
+	return SolveTreeLPCtx(context.Background(), tp, opts)
+}
+
+// SolveTreeLPCtx is SolveTreeLP under a context: cancellation is checked
+// between forward/backward sweeps and inside every vertex LP; a canceled
+// run returns the context error. A background context is bit-identical to
+// SolveTreeLP.
+func SolveTreeLPCtx(ctx context.Context, tp *lotsize.TreeProblem, opts NestedOptions) (*NestedResult, error) {
 	if tp == nil {
 		return nil, errors.New("benders: nil tree problem")
 	}
@@ -136,7 +145,7 @@ func SolveTreeLP(tp *lotsize.TreeProblem, opts NestedOptions) (*NestedResult, er
 				prob.B = append(prob.B, ct.r)
 			}
 		}
-		sol, err := lp.Solve(prob)
+		sol, err := lp.SolveCtx(ctx, prob, lp.Options{})
 		if err != nil {
 			return 0, 0, 0, 0, 0, 0, err
 		}
@@ -155,6 +164,9 @@ func SolveTreeLP(tp *lotsize.TreeProblem, opts NestedOptions) (*NestedResult, er
 	outB := make([]float64, n)   // chosen β per vertex
 	localC := make([]float64, n) // local (probability-weighted) stage cost
 	for iter := 0; iter < opts.MaxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("benders: canceled after %d sweeps: %w", res.Iterations, err)
+		}
 		res.Iterations++
 		// Forward pass in topological order.
 		var rootObj float64

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -93,11 +94,18 @@ func BuildSRRPTwoStage(par Params, tree *scenario.Tree, dem []float64) (*benders
 // SolveSRRPTwoStageLShaped solves the two-stage LP relaxation by the
 // L-shaped method and returns the lower bound plus decomposition stats.
 func SolveSRRPTwoStageLShaped(par Params, tree *scenario.Tree, dem []float64, opts benders.Options) (*benders.Result, error) {
+	return SolveSRRPTwoStageLShapedCtx(context.Background(), par, tree, dem, opts)
+}
+
+// SolveSRRPTwoStageLShapedCtx is SolveSRRPTwoStageLShaped under a context,
+// threading ctx through every master and subproblem LP. A background context
+// is bit-identical to SolveSRRPTwoStageLShaped.
+func SolveSRRPTwoStageLShapedCtx(ctx context.Context, par Params, tree *scenario.Tree, dem []float64, opts benders.Options) (*benders.Result, error) {
 	p, err := BuildSRRPTwoStage(par, tree, dem)
 	if err != nil {
 		return nil, err
 	}
-	return benders.Solve(p, opts)
+	return benders.SolveCtx(ctx, p, opts)
 }
 
 // SolveSRRPNestedLShaped solves the multistage LP relaxation of an SRRP
@@ -106,6 +114,13 @@ func SolveSRRPTwoStageLShaped(par Params, tree *scenario.Tree, dem []float64, op
 // constant is a lower bound on the exact SRRP expected cost; tests verify
 // it against the exact tree DP and the extensive-form LP.
 func SolveSRRPNestedLShaped(par Params, tree *scenario.Tree, dem []float64, opts benders.NestedOptions) (*benders.NestedResult, float64, error) {
+	return SolveSRRPNestedLShapedCtx(context.Background(), par, tree, dem, opts)
+}
+
+// SolveSRRPNestedLShapedCtx is SolveSRRPNestedLShaped under a context,
+// threading ctx through every vertex LP of the nested sweeps. A background
+// context is bit-identical to SolveSRRPNestedLShaped.
+func SolveSRRPNestedLShapedCtx(ctx context.Context, par Params, tree *scenario.Tree, dem []float64, opts benders.NestedOptions) (*benders.NestedResult, float64, error) {
 	if err := par.validate(); err != nil {
 		return nil, 0, err
 	}
@@ -131,7 +146,7 @@ func SolveSRRPNestedLShaped(par Params, tree *scenario.Tree, dem []float64, opts
 	for v := 0; v < n; v++ {
 		tp.Demand[v] = dem[tree.Stage[v]]
 	}
-	res, err := benders.SolveTreeLP(tp, opts)
+	res, err := benders.SolveTreeLPCtx(ctx, tp, opts)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -42,6 +43,14 @@ type CutStats struct {
 // identical to SolveDRRP's; the point is the root-gap and node-count
 // reduction measured by the ablation benchmarks.
 func SolveDRRPCutAndBranch(par Params, prices, dem []float64) (*Plan, *CutStats, error) {
+	return SolveDRRPCutAndBranchCtx(context.Background(), par, prices, dem)
+}
+
+// SolveDRRPCutAndBranchCtx is SolveDRRPCutAndBranch under a context:
+// cancellation is checked between separation rounds and threaded into the
+// root relaxations and the final branch-and-bound. A background context is
+// bit-identical to SolveDRRPCutAndBranch.
+func SolveDRRPCutAndBranchCtx(ctx context.Context, par Params, prices, dem []float64) (*Plan, *CutStats, error) {
 	prob, ix, err := BuildDRRPMILP(par, prices, dem)
 	if err != nil {
 		return nil, nil, err
@@ -64,7 +73,10 @@ func SolveDRRPCutAndBranch(par Params, prices, dem []float64) (*Plan, *CutStats,
 	const maxRounds = 30
 	const violTol = num.CutViolTol
 	for round := 0; round < maxRounds; round++ {
-		rel, err := lp.Solve(prob.LP)
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("core: cut-and-branch canceled in round %d: %w", round, err)
+		}
+		rel, err := lp.SolveCtx(ctx, prob.LP, lp.Options{})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -120,12 +132,20 @@ func SolveDRRPCutAndBranch(par Params, prices, dem []float64) (*Plan, *CutStats,
 		}
 	}
 	// Branch and bound on the strengthened model.
-	sol, err := mip.SolveWithOptions(prob, par.Solver)
+	sol, err := mip.SolveCtx(ctx, prob, par.Solver)
 	if err != nil {
 		return nil, nil, err
 	}
+	degraded := false
 	switch sol.Status {
-	case mip.StatusOptimal, mip.StatusFeasible:
+	case mip.StatusOptimal:
+	case mip.StatusFeasible:
+		degraded = true
+	case mip.StatusTimeLimit, mip.StatusCanceled:
+		if sol.X == nil {
+			return nil, nil, fmt.Errorf("core: cut-and-branch stopped with status %v before finding an incumbent", sol.Status)
+		}
+		degraded = true
 	case mip.StatusInfeasible:
 		return nil, nil, errors.New("core: DRRP infeasible (capacity too tight for demand)")
 	default:
@@ -140,5 +160,10 @@ func SolveDRRPCutAndBranch(par Params, prices, dem []float64) (*Plan, *CutStats,
 		beta[t] = sol.X[ix.Beta(t)]
 		chi[t] = sol.X[ix.Chi(t)] > 0.5
 	}
-	return assemblePlan(par, prices, dem, alpha, beta, chi), stats, nil
+	p := assemblePlan(par, prices, dem, alpha, beta, chi)
+	p.Degraded = degraded
+	if degraded {
+		p.Gap = sol.Gap
+	}
+	return p, stats, nil
 }

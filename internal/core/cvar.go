@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -37,6 +38,17 @@ type CVaRPlan struct {
 // branch-and-bound. Intended for the moderate tree sizes of short-horizon
 // planning; λ ∈ [0,1], α ∈ [0,1).
 func SolveSRRPCVaR(par Params, tree *scenario.Tree, dem []float64, lambda, alpha float64) (*CVaRPlan, error) {
+	return SolveSRRPCVaRCtx(context.Background(), par, tree, dem, lambda, alpha)
+}
+
+// SolveSRRPCVaRCtx is SolveSRRPCVaR under a context, threading ctx into the
+// branch-and-bound solve; a deadline-expired or canceled search with an
+// incumbent yields a degraded plan (StochasticPlan.Degraded/Gap). A
+// background context is bit-identical to SolveSRRPCVaR.
+func SolveSRRPCVaRCtx(ctx context.Context, par Params, tree *scenario.Tree, dem []float64, lambda, alpha float64) (*CVaRPlan, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: CVaR-SRRP canceled: %w", err)
+	}
 	if err := par.validate(); err != nil {
 		return nil, err
 	}
@@ -134,11 +146,18 @@ func SolveSRRPCVaR(par Params, tree *scenario.Tree, dem []float64, lambda, alpha
 	if solverOpts.MaxNodes <= 0 {
 		solverOpts.MaxNodes = 300000
 	}
-	sol, err := mip.SolveWithOptions(&mip.Problem{LP: lpp, Integer: ints}, solverOpts)
+	sol, err := mip.SolveCtx(ctx, &mip.Problem{LP: lpp, Integer: ints}, solverOpts)
 	if err != nil {
 		return nil, err
 	}
-	if sol.Status != mip.StatusOptimal && sol.Status != mip.StatusFeasible {
+	degraded := sol.Status != mip.StatusOptimal
+	switch sol.Status {
+	case mip.StatusOptimal, mip.StatusFeasible:
+	case mip.StatusTimeLimit, mip.StatusCanceled:
+		if sol.X == nil {
+			return nil, fmt.Errorf("core: CVaR solve status %v before finding an incumbent", sol.Status)
+		}
+	default:
 		return nil, fmt.Errorf("core: CVaR solve status %v", sol.Status)
 	}
 	alphaV := make([]float64, n)
@@ -150,6 +169,10 @@ func SolveSRRPCVaR(par Params, tree *scenario.Tree, dem []float64, lambda, alpha
 		chiV[v] = sol.X[ix.Chi(v)] > 0.5
 	}
 	plan := assembleStochasticPlan(par, tree, dem, alphaV, betaV, chiV)
+	plan.Degraded = degraded
+	if degraded {
+		plan.Gap = sol.Gap
+	}
 	cv := &CVaRPlan{
 		StochasticPlan: plan,
 		Objective:      sol.Obj,

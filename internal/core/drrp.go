@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -21,6 +22,12 @@ type Plan struct {
 	Cost float64
 	// Breakdown decomposes Cost by resource.
 	Breakdown CostBreakdown
+	// Degraded reports that the MILP search stopped at a limit, deadline or
+	// cancellation and this plan is the best incumbent rather than a proven
+	// optimum; Gap is its proven relative optimality gap. Both are zero on
+	// the exact DP paths and for proven-optimal MILP solves.
+	Degraded bool
+	Gap      float64
 }
 
 // Horizon returns the number of slots.
@@ -32,6 +39,18 @@ func (p *Plan) Horizon() int { return len(p.Alpha) }
 // Uncapacitated instances use the exact Wagner–Whitin dynamic program;
 // capacitated ones the MILP path.
 func SolveDRRP(par Params, prices, dem []float64) (*Plan, error) {
+	return SolveDRRPCtx(context.Background(), par, prices, dem)
+}
+
+// SolveDRRPCtx is SolveDRRP under a context. The MILP path threads ctx into
+// branch-and-bound and accepts a deadline-expired incumbent as a degraded
+// plan (Plan.Degraded/Gap); the exact DP paths are fast enough that only an
+// upfront cancellation check applies. A background context is bit-identical
+// to SolveDRRP.
+func SolveDRRPCtx(ctx context.Context, par Params, prices, dem []float64) (*Plan, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: DRRP canceled: %w", err)
+	}
 	if err := par.validate(); err != nil {
 		return nil, err
 	}
@@ -60,7 +79,7 @@ func SolveDRRP(par Params, prices, dem []float64) (*Plan, error) {
 			}
 			return assemblePlan(par, prices, dem, sol.Produce, sol.Inventory, sol.Setup), nil
 		}
-		return solveDRRPMILP(par, prices, dem)
+		return solveDRRPMILP(ctx, par, prices, dem)
 	}
 	sol, err := lotsize.SolveChain(cp)
 	if err != nil {
@@ -112,18 +131,28 @@ func constants(n int, v float64) []float64 {
 }
 
 // solveDRRPMILP handles the capacitated formulation (1)–(7) via
-// branch-and-bound.
-func solveDRRPMILP(par Params, prices, dem []float64) (*Plan, error) {
+// branch-and-bound. A search stopped by a limit, deadline or cancellation
+// still yields a plan when an incumbent exists — marked Degraded with its
+// proven gap — so a deadline-bounded caller can decide whether to accept it.
+func solveDRRPMILP(ctx context.Context, par Params, prices, dem []float64) (*Plan, error) {
 	prob, idx, err := BuildDRRPMILP(par, prices, dem)
 	if err != nil {
 		return nil, err
 	}
-	sol, err := mip.SolveWithOptions(prob, par.Solver)
+	sol, err := mip.SolveCtx(ctx, prob, par.Solver)
 	if err != nil {
 		return nil, err
 	}
+	degraded := false
 	switch sol.Status {
-	case mip.StatusOptimal, mip.StatusFeasible:
+	case mip.StatusOptimal:
+	case mip.StatusFeasible:
+		degraded = true
+	case mip.StatusTimeLimit, mip.StatusCanceled:
+		if sol.X == nil {
+			return nil, fmt.Errorf("core: DRRP solve stopped with status %v before finding an incumbent", sol.Status)
+		}
+		degraded = true
 	case mip.StatusInfeasible:
 		return nil, errors.New("core: DRRP infeasible (capacity too tight for demand)")
 	default:
@@ -138,7 +167,12 @@ func solveDRRPMILP(par Params, prices, dem []float64) (*Plan, error) {
 		beta[t] = sol.X[idx.Beta(t)]
 		chi[t] = sol.X[idx.Chi(t)] > 0.5
 	}
-	return assemblePlan(par, prices, dem, alpha, beta, chi), nil
+	p := assemblePlan(par, prices, dem, alpha, beta, chi)
+	p.Degraded = degraded
+	if degraded {
+		p.Gap = sol.Gap
+	}
+	return p, nil
 }
 
 // MILPIndex maps DRRP model variables to MILP column indices.

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
+	"rentplan/internal/core/faults"
 	"rentplan/internal/num"
 	"rentplan/internal/scenario"
 	"rentplan/internal/stats"
@@ -31,6 +34,18 @@ type ExecConfig struct {
 	// SRRP is solved every Replan slots (paper: "a revised plan is issued
 	// periodically"). ≤0 means every slot.
 	Replan int
+	// Budget caps the wall-clock time of every rolling-horizon re-solve.
+	// When positive, a re-solve that exceeds it degrades through the ladder
+	// of exec_ladder.go instead of stalling the executor; zero disables the
+	// ladder and reproduces the historical behaviour exactly.
+	Budget time.Duration
+	// MaxDegradedGap is the largest proven optimality gap at which a
+	// deadline-expired incumbent is still accepted (RungIncumbent); ≤0
+	// selects 0.05.
+	MaxDegradedGap float64
+	// Faults injects deterministic planning failures (tests only); non-nil
+	// arms the degradation ladder even without a Budget.
+	Faults *faults.Injector
 }
 
 func (c *ExecConfig) validate() error {
@@ -41,11 +56,14 @@ func (c *ExecConfig) validate() error {
 		return fmt.Errorf("core: actual/demand lengths %d/%d", len(c.Actual), len(c.Demand))
 	}
 	for t := range c.Actual {
-		if c.Actual[t] <= 0 {
-			return fmt.Errorf("core: non-positive spot price at slot %d", t)
+		// The finiteness checks are load-bearing: NaN slips past the sign
+		// comparisons below (NaN <= 0 and NaN < 0 are both false) and +Inf
+		// prices pass them outright, then corrupt every downstream cost sum.
+		if !isFinite(c.Actual[t]) || c.Actual[t] <= 0 {
+			return fmt.Errorf("core: spot price %v at slot %d not a finite positive number", c.Actual[t], t)
 		}
-		if c.Demand[t] < 0 {
-			return fmt.Errorf("core: negative demand at slot %d", t)
+		if !isFinite(c.Demand[t]) || c.Demand[t] < 0 {
+			return fmt.Errorf("core: demand %v at slot %d not a finite non-negative number", c.Demand[t], t)
 		}
 	}
 	return nil
@@ -66,6 +84,9 @@ type Outcome struct {
 	// the policy: 1 for the plan-once policies, and one count per
 	// rolling-horizon re-solve for the stochastic/rolling policies.
 	Replans int
+	// Degradations records every re-plan that fell below RungFull on the
+	// degradation ladder (budgeted runs only; empty otherwise).
+	Degradations []Degradation
 }
 
 // decision is a policy's per-slot output: whether to rent, how much data to
@@ -239,6 +260,7 @@ func RunStochastic(cfg *ExecConfig, bids []float64) (*Outcome, error) {
 	var plan *StochasticPlan
 	var planStart int  // slot of the plan's root
 	var planPath []int // executed vertex path within the plan's tree
+	var degs []Degradation
 	replanAt := 0
 	replans := 0
 	out, outErr := execute(cfg, func(t int, inv float64) decision {
@@ -247,15 +269,30 @@ func RunStochastic(cfg *ExecConfig, bids []float64) (*Outcome, error) {
 			if t+stages >= T {
 				stages = T - 1 - t
 			}
-			var err2 error
 			replans++
-			plan, err2 = planStochastic(cfg, bids, t, stages, inv)
-			if err2 != nil || plan == nil {
-				// Defensive fallback: just-in-time rental at the spot price.
-				plan = nil
-				replanAt = t + 1
-				need := math.Max(0, cfg.Demand[t]-inv)
-				return decision{rent: need > 0, alpha: need, payRate: cfg.Actual[t]}
+			if cfg.degradable() {
+				var rung DegradeRung
+				plan, rung = planStochasticLadder(cfg, bids, t, stages, inv)
+				if rung != RungFull {
+					degs = append(degs, Degradation{Slot: t, Rung: rung})
+				}
+				if plan == nil {
+					// Bottom rung: serve this slot just in time and retry
+					// planning at the next.
+					replanAt = t + 1
+					need := math.Max(0, cfg.Demand[t]-inv)
+					return decision{rent: need > 0, alpha: need, payRate: cfg.Actual[t]}
+				}
+			} else {
+				var err2 error
+				plan, err2 = planStochastic(context.Background(), cfg, bids, t, stages, inv)
+				if err2 != nil || plan == nil {
+					// Defensive fallback: just-in-time rental at the spot price.
+					plan = nil
+					replanAt = t + 1
+					need := math.Max(0, cfg.Demand[t]-inv)
+					return decision{rent: need > 0, alpha: need, payRate: cfg.Actual[t]}
+				}
 			}
 			planStart = t
 			planPath = []int{0}
@@ -286,13 +323,14 @@ func RunStochastic(cfg *ExecConfig, bids []float64) (*Outcome, error) {
 	})
 	if outErr == nil {
 		out.Replans = replans
+		out.Degradations = degs
 	}
 	return out, outErr
 }
 
 // planStochastic builds the bid-adjusted tree rooted at slot t and solves
 // SRRP with the current inventory as ε.
-func planStochastic(cfg *ExecConfig, bids []float64, t, stages int, inv float64) (*StochasticPlan, error) {
+func planStochastic(ctx context.Context, cfg *ExecConfig, bids []float64, t, stages int, inv float64) (*StochasticPlan, error) {
 	par := cfg.Par
 	par.Epsilon = inv
 	dem := cfg.Demand[t : t+stages+1]
@@ -302,7 +340,7 @@ func planStochastic(cfg *ExecConfig, bids []float64, t, stages int, inv float64)
 			Parent: []int{-1}, Prob: []float64{1}, Stage: []int{0},
 			Price: []float64{cfg.Actual[t]}, OutOfBid: []bool{false},
 		}
-		return SolveSRRP(par, tr, dem)
+		return SolveSRRPCtx(ctx, par, tr, dem)
 	}
 	lambda, err := par.OnDemandRate()
 	if err != nil {
@@ -316,7 +354,7 @@ func planStochastic(cfg *ExecConfig, bids []float64, t, stages int, inv float64)
 	if err != nil {
 		return nil, err
 	}
-	return SolveSRRP(par, tr, dem)
+	return SolveSRRPCtx(ctx, par, tr, dem)
 }
 
 // matchChild finds the child of v whose state corresponds to the realised

@@ -32,23 +32,37 @@ func RunDeterministicRolling(cfg *ExecConfig, bids []float64) (*Outcome, error) 
 	}
 	T := len(cfg.Demand)
 	var plan *Plan
+	var degs []Degradation
 	planStart := 0
 	replanAt := 0
 	replans := 0
 	out, outErr := execute(cfg, func(t int, inv float64) decision {
 		if t >= replanAt || plan == nil {
-			par := cfg.Par
-			par.Epsilon = inv
 			prices := append([]float64(nil), bids[t:]...)
 			prices[0] = cfg.Actual[t] // the current price is known
-			var err2 error
 			replans++
-			plan, err2 = SolveDRRP(par, prices, cfg.Demand[t:T])
-			if err2 != nil {
-				plan = nil
-				replanAt = t + 1
-				need := math.Max(0, cfg.Demand[t]-inv)
-				return decision{rent: need > 0, alpha: need, payRate: cfg.Actual[t]}
+			if cfg.degradable() {
+				var rung DegradeRung
+				plan, rung = planDeterministicLadder(cfg, prices, cfg.Demand[t:T], inv)
+				if rung != RungFull {
+					degs = append(degs, Degradation{Slot: t, Rung: rung})
+				}
+				if plan == nil {
+					replanAt = t + 1
+					need := math.Max(0, cfg.Demand[t]-inv)
+					return decision{rent: need > 0, alpha: need, payRate: cfg.Actual[t]}
+				}
+			} else {
+				par := cfg.Par
+				par.Epsilon = inv
+				var err2 error
+				plan, err2 = SolveDRRP(par, prices, cfg.Demand[t:T])
+				if err2 != nil {
+					plan = nil
+					replanAt = t + 1
+					need := math.Max(0, cfg.Demand[t]-inv)
+					return decision{rent: need > 0, alpha: need, payRate: cfg.Actual[t]}
+				}
 			}
 			planStart = t
 			replanAt = t + stride
@@ -64,6 +78,7 @@ func RunDeterministicRolling(cfg *ExecConfig, bids []float64) (*Outcome, error) 
 	})
 	if outErr == nil {
 		out.Replans = replans
+		out.Degradations = degs
 	}
 	return out, outErr
 }

@@ -1,0 +1,109 @@
+// Package faults injects deterministic planning failures into the
+// rolling-horizon executor. A seeded Injector wraps the per-replan planning
+// context so that selected solves observe an already-expired deadline (a
+// planner that would blow its budget) or an upfront cancellation (a caller
+// that aborted the solve). Because the fault is carried by the context, the
+// full degradation ladder of internal/core is exercised end to end without
+// sleeping or racing against a real clock, and a fixed seed reproduces the
+// exact fault schedule run after run.
+//
+// The package lives below internal/core on purpose: the solver packages ban
+// wall-clock reads and the global math/rand source (see internal/analysis),
+// while fault injection legitimately needs a seeded random source and
+// synthetic deadlines.
+package faults
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Kind labels the fault injected into one planning call.
+type Kind int
+
+const (
+	// None leaves the planning context untouched.
+	None Kind = iota
+	// Stall models a planner that exhausts its budget: the returned context
+	// carries an already-expired deadline, so every cooperative cancellation
+	// check observes context.DeadlineExceeded immediately.
+	Stall
+	// Cancel models a caller abort: the returned context is canceled before
+	// the solve starts.
+	Cancel
+)
+
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Stall:
+		return "stall"
+	case Cancel:
+		return "cancel"
+	}
+	return "unknown"
+}
+
+// Config selects which planning calls fail. Periodic rules are checked
+// first; the probabilistic ones draw from the injector's seeded source, so a
+// fixed seed yields a fixed schedule.
+type Config struct {
+	// StallEvery injects a Stall into every n-th planning call (the n-th,
+	// 2n-th, ... calls, 1-based); ≤0 disables the rule.
+	StallEvery int
+	// CancelEvery injects a Cancel into every n-th planning call; ≤0
+	// disables the rule.
+	CancelEvery int
+	// StallProb and CancelProb inject the corresponding fault independently
+	// with the given per-call probability when no periodic rule fired.
+	StallProb, CancelProb float64
+}
+
+// Injector produces faulted planning contexts on a deterministic schedule.
+// It is not safe for concurrent use; the executor calls it from a single
+// goroutine.
+type Injector struct {
+	cfg   Config
+	rng   *rand.Rand
+	calls int
+}
+
+// New returns an injector with the given seed and schedule.
+func New(seed int64, cfg Config) *Injector {
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// PlanContext wraps ctx for the next planning call according to the
+// schedule. The returned cancel function must be called when the solve
+// finishes (it is a no-op for Kind None).
+func (in *Injector) PlanContext(ctx context.Context) (context.Context, context.CancelFunc, Kind) {
+	in.calls++
+	kind := None
+	switch {
+	case in.cfg.StallEvery > 0 && in.calls%in.cfg.StallEvery == 0:
+		kind = Stall
+	case in.cfg.CancelEvery > 0 && in.calls%in.cfg.CancelEvery == 0:
+		kind = Cancel
+	case in.cfg.StallProb > 0 && in.rng.Float64() < in.cfg.StallProb:
+		kind = Stall
+	case in.cfg.CancelProb > 0 && in.rng.Float64() < in.cfg.CancelProb:
+		kind = Cancel
+	}
+	switch kind {
+	case Stall:
+		// time.Unix(0, 0) is in the past for any realistic clock, so the
+		// deadline is expired the moment the context is created.
+		cctx, cancel := context.WithDeadline(ctx, time.Unix(0, 0))
+		return cctx, cancel, Stall
+	case Cancel:
+		cctx, cancel := context.WithCancel(ctx)
+		cancel()
+		return cctx, cancel, Cancel
+	}
+	return ctx, func() {}, None
+}
+
+// Calls reports how many planning calls the injector has observed.
+func (in *Injector) Calls() int { return in.calls }

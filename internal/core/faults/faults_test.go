@@ -1,0 +1,84 @@
+package faults
+
+import (
+	"context"
+	"testing"
+)
+
+func schedule(in *Injector, n int) []Kind {
+	kinds := make([]Kind, n)
+	for i := range kinds {
+		_, cancel, k := in.PlanContext(context.Background())
+		cancel()
+		kinds[i] = k
+	}
+	return kinds
+}
+
+func TestPeriodicSchedule(t *testing.T) {
+	in := New(1, Config{StallEvery: 3, CancelEvery: 4})
+	got := schedule(in, 12)
+	want := []Kind{None, None, Stall, Cancel, None, Stall, None, Cancel, Stall, None, None, Stall}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("call %d: kind %v, want %v (schedule %v)", i+1, got[i], want[i], got)
+		}
+	}
+	if in.Calls() != 12 {
+		t.Fatalf("Calls() = %d, want 12", in.Calls())
+	}
+}
+
+func TestSeededScheduleIsDeterministic(t *testing.T) {
+	cfg := Config{StallProb: 0.3, CancelProb: 0.3}
+	a := schedule(New(42, cfg), 200)
+	b := schedule(New(42, cfg), 200)
+	sawStall, sawCancel := false, false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d: %v vs %v — same seed must give the same schedule", i+1, a[i], b[i])
+		}
+		sawStall = sawStall || a[i] == Stall
+		sawCancel = sawCancel || a[i] == Cancel
+	}
+	if !sawStall || !sawCancel {
+		t.Fatalf("200 calls at 30%%/30%% produced stall=%v cancel=%v", sawStall, sawCancel)
+	}
+}
+
+func TestFaultContexts(t *testing.T) {
+	in := New(1, Config{StallEvery: 1})
+	ctx, cancel, k := in.PlanContext(context.Background())
+	defer cancel()
+	if k != Stall {
+		t.Fatalf("kind = %v, want %v", k, Stall)
+	}
+	if ctx.Err() != context.DeadlineExceeded {
+		t.Fatalf("stalled ctx.Err() = %v, want %v", ctx.Err(), context.DeadlineExceeded)
+	}
+
+	in = New(1, Config{CancelEvery: 1})
+	ctx, cancel, k = in.PlanContext(context.Background())
+	defer cancel()
+	if k != Cancel {
+		t.Fatalf("kind = %v, want %v", k, Cancel)
+	}
+	if ctx.Err() != context.Canceled {
+		t.Fatalf("canceled ctx.Err() = %v, want %v", ctx.Err(), context.Canceled)
+	}
+
+	in = New(1, Config{})
+	ctx, cancel, k = in.PlanContext(context.Background())
+	defer cancel()
+	if k != None || ctx.Err() != nil {
+		t.Fatalf("no-fault call: kind %v, err %v", k, ctx.Err())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, w := range map[Kind]string{None: "none", Stall: "stall", Cancel: "cancel", Kind(9): "unknown"} {
+		if k.String() != w {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), w)
+		}
+	}
+}

@@ -11,6 +11,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"rentplan/internal/market"
 	"rentplan/internal/mip"
@@ -72,21 +73,43 @@ func (p Params) UnitGenCost() float64 { return p.Pricing.TransferInPerGB * p.Phi
 func (p Params) HoldingCost() float64 { return p.Pricing.HoldingPerGBHour() }
 
 func (p Params) validate() error {
-	if p.Phi < 0 {
-		return errors.New("core: negative Phi")
+	// Reject NaN/Inf up front: a single non-finite coefficient silently
+	// poisons the DP recurrences and LP pivots (NaN compares false against
+	// every sign check), so it must never reach a solver.
+	if !isFinite(p.Phi) || p.Phi < 0 {
+		return fmt.Errorf("core: Phi %v not a finite non-negative number", p.Phi)
 	}
-	if p.Epsilon < 0 {
-		return errors.New("core: negative Epsilon")
+	if !isFinite(p.Epsilon) || p.Epsilon < 0 {
+		return fmt.Errorf("core: Epsilon %v not a finite non-negative number", p.Epsilon)
 	}
-	if _, err := p.OnDemandRate(); err != nil {
+	rate, err := p.OnDemandRate()
+	if err != nil {
 		return err
+	}
+	if !isFinite(rate) {
+		return fmt.Errorf("core: non-finite on-demand rate %v for class %q", rate, p.Class)
 	}
 	if p.Pricing.TransferInPerGB < 0 || p.Pricing.TransferOutPerGB < 0 ||
 		p.Pricing.StoragePerGBHour < 0 || p.Pricing.IOPerGBHour < 0 {
 		return errors.New("core: negative pricing entries")
 	}
+	if !isFinite(p.Pricing.TransferInPerGB) || !isFinite(p.Pricing.TransferOutPerGB) ||
+		!isFinite(p.Pricing.StoragePerGBHour) || !isFinite(p.Pricing.IOPerGBHour) {
+		return errors.New("core: non-finite pricing entries")
+	}
+	if !isFinite(p.ConsumptionRate) {
+		return fmt.Errorf("core: non-finite ConsumptionRate %v", p.ConsumptionRate)
+	}
+	for t, q := range p.Capacity {
+		if !isFinite(q) {
+			return fmt.Errorf("core: non-finite capacity %v at slot %d", q, t)
+		}
+	}
 	return nil
 }
+
+// isFinite reports a finite (neither NaN nor ±Inf) value.
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // CostBreakdown decomposes a plan's cost into the components of Fig. 2 /
 // Fig. 10 (bottom): compute rental, storage+I/O, and network transfer.

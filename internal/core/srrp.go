@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -24,6 +25,12 @@ type StochasticPlan struct {
 	// RootRent and RootAlpha are the implementable here-and-now decisions.
 	RootRent  bool
 	RootAlpha float64
+	// Degraded reports that the MILP search stopped at a limit, deadline or
+	// cancellation and this plan is the best incumbent rather than a proven
+	// optimum; Gap is its proven relative optimality gap. Both are zero on
+	// the exact DP paths and for proven-optimal MILP solves.
+	Degraded bool
+	Gap      float64
 }
 
 // SolveSRRP computes an optimal stochastic rental plan on the given
@@ -31,6 +38,18 @@ type StochasticPlan struct {
 // current slot; len(dem) must equal tree.Stages(). Uncapacitated instances
 // use the exact tree dynamic program; capacitated ones the MILP path.
 func SolveSRRP(par Params, tree *scenario.Tree, dem []float64) (*StochasticPlan, error) {
+	return SolveSRRPCtx(context.Background(), par, tree, dem)
+}
+
+// SolveSRRPCtx is SolveSRRP under a context. The MILP path threads ctx into
+// branch-and-bound and accepts a deadline-expired incumbent as a degraded
+// plan (StochasticPlan.Degraded/Gap); the exact tree DP is fast enough that
+// only an upfront cancellation check applies. A background context is
+// bit-identical to SolveSRRP.
+func SolveSRRPCtx(ctx context.Context, par Params, tree *scenario.Tree, dem []float64) (*StochasticPlan, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: SRRP canceled: %w", err)
+	}
 	if err := par.validate(); err != nil {
 		return nil, err
 	}
@@ -49,7 +68,7 @@ func SolveSRRP(par Params, tree *scenario.Tree, dem []float64) (*StochasticPlan,
 		}
 	}
 	if par.Capacitated() {
-		return solveSRRPMILP(par, tree, dem)
+		return solveSRRPMILP(ctx, par, tree, dem)
 	}
 	n := tree.N()
 	tp := &lotsize.TreeProblem{
@@ -94,18 +113,28 @@ func assembleStochasticPlan(par Params, tree *scenario.Tree, dem []float64, alph
 }
 
 // solveSRRPMILP handles the capacitated deterministic equivalent via
-// branch-and-bound. Capacity[s] bounds stage s.
-func solveSRRPMILP(par Params, tree *scenario.Tree, dem []float64) (*StochasticPlan, error) {
+// branch-and-bound. Capacity[s] bounds stage s. A search stopped by a
+// limit, deadline or cancellation still yields a plan when an incumbent
+// exists — marked Degraded with its proven gap.
+func solveSRRPMILP(ctx context.Context, par Params, tree *scenario.Tree, dem []float64) (*StochasticPlan, error) {
 	prob, ix, err := BuildSRRPMILP(par, tree, dem)
 	if err != nil {
 		return nil, err
 	}
-	sol, err := mip.SolveWithOptions(prob, par.Solver)
+	sol, err := mip.SolveCtx(ctx, prob, par.Solver)
 	if err != nil {
 		return nil, err
 	}
+	degraded := false
 	switch sol.Status {
-	case mip.StatusOptimal, mip.StatusFeasible:
+	case mip.StatusOptimal:
+	case mip.StatusFeasible:
+		degraded = true
+	case mip.StatusTimeLimit, mip.StatusCanceled:
+		if sol.X == nil {
+			return nil, fmt.Errorf("core: SRRP solve stopped with status %v before finding an incumbent", sol.Status)
+		}
+		degraded = true
 	case mip.StatusInfeasible:
 		return nil, errors.New("core: SRRP infeasible (capacity too tight for demand)")
 	default:
@@ -120,7 +149,12 @@ func solveSRRPMILP(par Params, tree *scenario.Tree, dem []float64) (*StochasticP
 		beta[v] = sol.X[ix.Beta(v)]
 		chi[v] = sol.X[ix.Chi(v)] > 0.5
 	}
-	return assembleStochasticPlan(par, tree, dem, alpha, beta, chi), nil
+	p := assembleStochasticPlan(par, tree, dem, alpha, beta, chi)
+	p.Degraded = degraded
+	if degraded {
+		p.Gap = sol.Gap
+	}
+	return p, nil
 }
 
 // BuildSRRPMILP constructs the deterministic equivalent MILP (13)–(19).

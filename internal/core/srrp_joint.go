@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -17,6 +18,16 @@ import (
 //
 // dem[v] is the demand realised in the state of vertex v (len = tree.N()).
 func SolveSRRPVertexDemands(par Params, tree *scenario.Tree, dem []float64) (*StochasticPlan, error) {
+	return SolveSRRPVertexDemandsCtx(context.Background(), par, tree, dem)
+}
+
+// SolveSRRPVertexDemandsCtx is SolveSRRPVertexDemands under a context. The
+// exact tree DP is fast enough that only an upfront cancellation check
+// applies; a background context is bit-identical to SolveSRRPVertexDemands.
+func SolveSRRPVertexDemandsCtx(ctx context.Context, par Params, tree *scenario.Tree, dem []float64) (*StochasticPlan, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: joint-uncertainty SRRP canceled: %w", err)
+	}
 	if err := par.validate(); err != nil {
 		return nil, err
 	}

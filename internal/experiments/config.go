@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"rentplan/internal/market"
 )
@@ -27,6 +28,10 @@ type Config struct {
 	DemandSeed int64
 	// TreeStages and MaxBranch configure SRRP scenario trees.
 	TreeStages, MaxBranch int
+	// Budget caps each rolling-horizon re-solve of the Fig. 12 executors
+	// (core.ExecConfig.Budget); zero runs unbudgeted, exactly as the paper
+	// does.
+	Budget time.Duration
 }
 
 // DefaultConfig returns the full-scale configuration used by the paper

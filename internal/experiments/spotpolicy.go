@@ -71,6 +71,7 @@ func Fig12aOverpay(cfg *Config) ([]Fig12aRow, error) {
 				Base:       stats.NewDiscreteFromSamples(hist, 1e-3),
 				TreeStages: cfg.TreeStages,
 				MaxBranch:  cfg.MaxBranch,
+				Budget:     cfg.Budget,
 			}
 			predBids, err := predictBids(hist, T)
 			if err != nil {
@@ -182,6 +183,7 @@ func Fig12bBidPrecision(cfg *Config) ([]Fig12bPoint, float64, error) {
 			Base:       stats.NewDiscreteFromSamples(hist, 1e-3),
 			TreeStages: cfg.TreeStages,
 			MaxBranch:  cfg.MaxBranch,
+			Budget:     cfg.Budget,
 		}
 		exact, err := core.RunStochastic(execCfg, execCfg.Actual)
 		if err != nil {

@@ -18,6 +18,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -61,6 +62,11 @@ const (
 	StatusUnbounded
 	// StatusIterLimit means the iteration limit was reached first.
 	StatusIterLimit
+	// StatusCanceled means the context passed to SolveCtx/SolveFromCtx was
+	// canceled (or its deadline expired) before the solve finished. Like
+	// StatusIterLimit, X/Obj are populated only when the cancellation fired
+	// at a primal-feasible (phase-2) point.
+	StatusCanceled
 )
 
 func (s Status) String() string {
@@ -73,6 +79,8 @@ func (s Status) String() string {
 		return "unbounded"
 	case StatusIterLimit:
 		return "iteration-limit"
+	case StatusCanceled:
+		return "canceled"
 	}
 	return fmt.Sprintf("Status(%d)", int8(s))
 }
@@ -185,11 +193,12 @@ func (p *Problem) Clone() *Problem {
 // Solution is the result of a solve.
 //
 // X and Obj are populated only when the solver stopped at a primal-feasible
-// point: always for StatusOptimal, and for StatusIterLimit only when the
-// limit fired during phase 2 (the iterate is then feasible and Obj is an
-// upper bound on the optimum, never a lower bound usable for pruning). A
-// limit that fires during phase 1 or basis repair leaves X nil, because the
-// partially-pivoted iterate satisfies neither the constraints nor the bounds.
+// point: always for StatusOptimal, and for StatusIterLimit/StatusCanceled
+// only when the stop fired during phase 2 (the iterate is then feasible and
+// Obj is an upper bound on the optimum, never a lower bound usable for
+// pruning). A limit or cancellation that fires during phase 1 or basis
+// repair leaves X nil, because the partially-pivoted iterate satisfies
+// neither the constraints nor the bounds.
 type Solution struct {
 	Status     Status
 	X          []float64 // primal values of the structural variables
@@ -243,14 +252,30 @@ func (o Options) withDefaults(m, n int) Options {
 // ErrBadProblem wraps validation failures returned by Solve.
 var ErrBadProblem = errors.New("lp: malformed problem")
 
+// ctxCheckInterval is the pivot cadence at which the phase loops poll
+// ctx.Err(): frequent enough that a pending deadline stops a long phase
+// within a handful of pivots, rare enough that the mutex inside a deadline
+// context's Err() stays off the profile.
+const ctxCheckInterval = 16
+
 // Solve minimises the problem with the default options.
 func Solve(p *Problem) (*Solution, error) { return SolveWithOptions(p, Options{}) }
 
 // SolveWithOptions minimises the problem using the supplied options.
 func SolveWithOptions(p *Problem, opts Options) (*Solution, error) {
+	return SolveCtx(context.Background(), p, opts)
+}
+
+// SolveCtx minimises the problem like SolveWithOptions, additionally
+// observing ctx: the pivot loops poll ctx.Err() every ctxCheckInterval
+// iterations and stop with StatusCanceled once the context is canceled or
+// past its deadline. A background (never-canceled) context makes SolveCtx
+// behave bit-identically to SolveWithOptions.
+func SolveCtx(ctx context.Context, p *Problem, opts Options) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadProblem, err)
 	}
 	s := newSimplex(p, opts.withDefaults(p.NumRows(), p.NumVars()))
+	s.ctx = ctx
 	return s.solve()
 }

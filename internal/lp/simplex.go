@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"math"
 
 	"rentplan/internal/num"
@@ -46,6 +47,17 @@ type simplex struct {
 	iters      int
 	degenerate int  // consecutive (near-)degenerate pivots
 	bland      bool // anti-cycling mode
+
+	// ctx, when non-nil, is polled every ctxCheckInterval pivots; a canceled
+	// or expired context stops the phase loops with StatusCanceled. Nil on
+	// the plain Solve/SolveWithOptions/SolveFrom paths, so they pay nothing.
+	ctx context.Context
+}
+
+// canceled reports whether the solve's context has been canceled or its
+// deadline has expired.
+func (s *simplex) canceled() bool {
+	return s.ctx != nil && s.ctx.Err() != nil
 }
 
 func newSimplex(p *Problem, opts Options) *simplex {
@@ -122,10 +134,10 @@ func (s *simplex) solve() (*Solution, error) {
 	feasible := s.setupPhase1()
 	if !feasible {
 		st := s.runPhase(true)
-		if st == StatusIterLimit {
-			// The limit fired before feasibility: the partially-pivoted
-			// iterate is not a usable point, so X/Obj stay empty.
-			return s.result(StatusIterLimit, false), nil
+		if st == StatusIterLimit || st == StatusCanceled {
+			// The limit/cancellation fired before feasibility: the partially-
+			// pivoted iterate is not a usable point, so X/Obj stay empty.
+			return s.result(st, false), nil
 		}
 		art := 0.0
 		for i := 0; i < s.m; i++ {
@@ -288,6 +300,9 @@ func (s *simplex) runPhase(phase1 bool) Status {
 	for {
 		if s.iters >= s.opts.MaxIter {
 			return StatusIterLimit
+		}
+		if s.iters%ctxCheckInterval == 0 && s.canceled() {
+			return StatusCanceled
 		}
 		// Dual values y = c_B B⁻¹.
 		for k := 0; k < s.m; k++ {
@@ -621,13 +636,13 @@ func (s *simplex) computeBasicValues() {
 
 // result assembles a Solution. feasiblePoint reports whether the current
 // iterate satisfies the constraints and bounds; X/Obj are exported only for
-// a proven optimum or for an iteration limit that fired at a feasible
-// (phase-2) point — a limit mid-phase-1 or mid-repair must not leak a
-// partially-pivoted iterate that downstream pruning could mistake for a
+// a proven optimum or for an iteration limit / cancellation that fired at a
+// feasible (phase-2) point — a stop mid-phase-1 or mid-repair must not leak
+// a partially-pivoted iterate that downstream pruning could mistake for a
 // valid bound.
 func (s *simplex) result(st Status, feasiblePoint bool) *Solution {
 	sol := &Solution{Status: st, Iterations: s.iters}
-	if st == StatusOptimal || (st == StatusIterLimit && feasiblePoint) {
+	if st == StatusOptimal || ((st == StatusIterLimit || st == StatusCanceled) && feasiblePoint) {
 		sol.X = make([]float64, s.n)
 		obj := 0.0
 		for j := 0; j < s.n; j++ {

@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -52,14 +53,23 @@ func (w WarmStart) String() string {
 // optima are bit-identical to SolveWithOptions. The outcome of the warm
 // attempt is reported in Solution.WarmStart.
 func SolveFrom(p *Problem, basis *Basis, opts Options) (*Solution, error) {
+	return SolveFromCtx(context.Background(), p, basis, opts)
+}
+
+// SolveFromCtx is SolveFrom with context observation: the repair and phase
+// loops poll ctx.Err() every ctxCheckInterval pivots and stop with
+// StatusCanceled once the context is canceled or past its deadline. A
+// background context makes SolveFromCtx bit-identical to SolveFrom.
+func SolveFromCtx(ctx context.Context, p *Problem, basis *Basis, opts Options) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadProblem, err)
 	}
 	opts = opts.withDefaults(p.NumRows(), p.NumVars())
 	s := newSimplex(p, opts)
+	s.ctx = ctx
 	switch s.installBasis(basis) {
 	case warmInstallFailed:
-		return coldFallback(p, opts, 0)
+		return coldFallback(ctx, p, opts, 0)
 	case warmInstallOK:
 		sol, err := s.solvePhase2()
 		if err == nil {
@@ -81,18 +91,25 @@ func SolveFrom(p *Problem, basis *Basis, opts Options) (*Solution, error) {
 		sol := s.result(StatusIterLimit, false)
 		sol.WarmStart = WarmMiss
 		return sol, nil
+	case repairCanceled:
+		// The context died mid-repair: like repairIterLimit, the iterate is
+		// not primal feasible, so no X/Obj leak out.
+		sol := s.result(StatusCanceled, false)
+		sol.WarmStart = WarmMiss
+		return sol, nil
 	default: // repairStalled
 		// Never conclude anything from a stalled repair — the restricted
 		// subproblem can be at a spurious optimum. Let the exact cold
 		// phase 1 decide feasibility.
-		return coldFallback(p, opts, s.iters)
+		return coldFallback(ctx, p, opts, s.iters)
 	}
 }
 
 // coldFallback runs the cold two-phase path and accounts the pivots already
 // spent on the abandoned warm attempt, so iteration statistics stay honest.
-func coldFallback(p *Problem, opts Options, spent int) (*Solution, error) {
+func coldFallback(ctx context.Context, p *Problem, opts Options, spent int) (*Solution, error) {
 	s := newSimplex(p, opts)
+	s.ctx = ctx
 	sol, err := s.solve()
 	if err != nil {
 		return nil, err
@@ -217,6 +234,8 @@ const (
 	repairDone repairOutcome = iota
 	// repairIterLimit: the caller's MaxIter budget ran out mid-repair.
 	repairIterLimit
+	// repairCanceled: the solve's context was canceled mid-repair.
+	repairCanceled
 	// repairStalled: no improving column, an unbounded repair ray, or the
 	// repair budget exhausted while violations remain; the caller must fall
 	// back to the exact cold phase 1 — a stalled repair proves nothing.
@@ -267,6 +286,9 @@ func (s *simplex) runRepair() repairOutcome {
 		}
 		if s.iters >= s.opts.MaxIter {
 			return repairIterLimit
+		}
+		if s.iters%ctxCheckInterval == 0 && s.canceled() {
+			return repairCanceled
 		}
 		if s.iters >= budget {
 			return repairStalled

@@ -25,6 +25,7 @@ package mip
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -52,6 +53,17 @@ const (
 	StatusFeasible
 	// StatusLimit means the search stopped at a limit with no incumbent.
 	StatusLimit
+	// StatusTimeLimit means the wall-clock budget expired — Options.TimeLimit
+	// or the deadline of the context passed to SolveCtx, whichever fired.
+	// X/Obj hold the best incumbent when one exists, and Bound remains a
+	// valid lower bound (the lostBound machinery accounts every subtree the
+	// deadline cut off).
+	StatusTimeLimit
+	// StatusCanceled means the context passed to SolveCtx was canceled
+	// before the search finished. Incumbent and bound semantics are the same
+	// as for StatusTimeLimit; a canceled solve never claims optimality
+	// unless the tree was already exhausted when the cancellation landed.
+	StatusCanceled
 )
 
 func (s Status) String() string {
@@ -66,6 +78,10 @@ func (s Status) String() string {
 		return "feasible"
 	case StatusLimit:
 		return "limit"
+	case StatusTimeLimit:
+		return "time-limit"
+	case StatusCanceled:
+		return "canceled"
 	}
 	return fmt.Sprintf("Status(%d)", int8(s))
 }
@@ -216,10 +232,23 @@ func Solve(p *Problem) (*Solution, error) { return SolveWithOptions(p, Options{}
 
 // SolveWithOptions minimises the MILP with the given options.
 func SolveWithOptions(p *Problem, opts Options) (*Solution, error) {
+	return SolveCtx(context.Background(), p, opts)
+}
+
+// SolveCtx minimises the MILP like SolveWithOptions, additionally observing
+// ctx. Cancellation is cooperative and unified with Options.TimeLimit: a
+// positive TimeLimit is installed as a deadline on the context handed to
+// every node LP, so a single long relaxation can overshoot the budget by at
+// most a few simplex pivots rather than by its whole runtime. An expired
+// deadline (either source) yields StatusTimeLimit, an explicit cancellation
+// StatusCanceled; both carry the best incumbent found and a valid bound. A
+// background context with TimeLimit == 0 is bit-identical to
+// SolveWithOptions.
+func SolveCtx(ctx context.Context, p *Problem, opts Options) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return newBnB(p, opts.withDefaults()).run(), nil
+	return newBnB(ctx, p, opts.withDefaults()).run(), nil
 }
 
 // atomicFloat64 is a float64 with atomic load and add, used for the shared
@@ -245,6 +274,11 @@ type bnb struct {
 	p     *Problem
 	opts  Options
 	start time.Time
+
+	// ctx is observed by every worker between node pops and inside every
+	// node LP; cancel releases the deadline derived from Options.TimeLimit.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	baseLower, baseUpper []float64 // original variable bounds (nil-expanded)
 	rowAbs               []float64 // Σ_j |A_ij| per row: snap-tolerance scale
@@ -272,6 +306,8 @@ type bnb struct {
 	idle        int  // workers blocked on an empty frontier
 	stopped     bool // terminal: limit, unboundedness or exhaustion
 	limitHit    bool
+	timeHit     bool // wall-clock budget expired (TimeLimit or ctx deadline)
+	canceled    bool // caller context canceled
 	unbounded   bool
 	lostBound   float64 // min bound over subtrees dropped at an LP iteration limit; +Inf if none
 	nodes       int
@@ -286,9 +322,17 @@ type bnb struct {
 	lastProgress time.Time
 }
 
-func newBnB(p *Problem, opts Options) *bnb {
+func newBnB(ctx context.Context, p *Problem, opts Options) *bnb {
 	n := p.LP.NumVars()
 	b := &bnb{p: p, opts: opts, start: now(), incObj: math.Inf(1), lostBound: math.Inf(1)}
+	b.ctx = ctx
+	if opts.TimeLimit > 0 {
+		// Unify TimeLimit with the context: node LPs inherit the remaining
+		// wall-clock budget as a deadline, so the time-limit check no longer
+		// fires only between node pops (a single long LP used to blow far
+		// past TimeLimit).
+		b.ctx, b.cancel = context.WithDeadline(ctx, b.start.Add(opts.TimeLimit))
+	}
 	// Resolve the LP options exactly once so a caller-supplied Tol or
 	// MaxIter reaches every node identically on both the warm and the cold
 	// dispatch paths, instead of being re-defaulted per node.
@@ -327,6 +371,9 @@ func newBnB(p *Problem, opts Options) *bnb {
 }
 
 func (b *bnb) run() *Solution {
+	if b.cancel != nil {
+		defer b.cancel()
+	}
 	root := &node{
 		lower:     append([]float64(nil), b.baseLower...),
 		upper:     append([]float64(nil), b.baseUpper...),
@@ -384,9 +431,7 @@ func (b *bnb) next(id int) *node {
 		if b.stopped {
 			return nil
 		}
-		if b.nodes >= b.opts.MaxNodes || b.overTime() {
-			b.limitHit = true
-			b.stopLocked()
+		if b.checkStopLocked() {
 			return nil
 		}
 		// Best-bound order: if the cheapest open node cannot beat the
@@ -421,6 +466,25 @@ func (b *bnb) overTime() bool {
 	return b.opts.TimeLimit > 0 && since(b.start) > b.opts.TimeLimit
 }
 
+// checkStopLocked classifies and flags the applicable stop cause — node
+// limit, wall-clock budget (Options.TimeLimit or the caller context's
+// deadline), or explicit cancellation — and terminates the search when one
+// fired. Callers must hold mu.
+func (b *bnb) checkStopLocked() bool {
+	switch err := b.ctx.Err(); {
+	case b.nodes >= b.opts.MaxNodes:
+		b.limitHit = true
+	case b.overTime() || err == context.DeadlineExceeded:
+		b.timeHit = true
+	case err != nil:
+		b.canceled = true
+	default:
+		return false
+	}
+	b.stopLocked()
+	return true
+}
+
 // reserve accounts one node about to be solved, enforcing the node and time
 // limits exactly (the counter never exceeds MaxNodes, for any worker count),
 // and refreshes the worker's in-flight bound so the global bound tightens as
@@ -434,9 +498,7 @@ func (b *bnb) reserve(id int, nd *node) bool {
 	if b.stopped {
 		return false
 	}
-	if b.nodes >= b.opts.MaxNodes || b.overTime() {
-		b.limitHit = true
-		b.stopLocked()
+	if b.checkStopLocked() {
 		return false
 	}
 	b.nodes++
@@ -462,6 +524,23 @@ func (b *bnb) recordLost(bound float64) {
 	if bound < b.lostBound {
 		b.lostBound = bound
 	}
+	b.mu.Unlock()
+}
+
+// recordLostCtx accounts a subtree whose relaxation was cut off by the
+// context — deadline or cancellation — keeping the final bound honest, and
+// stops the search (every other worker would observe the same context).
+func (b *bnb) recordLostCtx(bound float64) {
+	b.mu.Lock()
+	if b.overTime() || b.ctx.Err() == context.DeadlineExceeded {
+		b.timeHit = true
+	} else {
+		b.canceled = true
+	}
+	if bound < b.lostBound {
+		b.lostBound = bound
+	}
+	b.stopLocked()
 	b.mu.Unlock()
 }
 
@@ -491,9 +570,10 @@ func (b *bnb) finish() *Solution {
 	}
 	frontier := len(b.open) > 0 || !math.IsInf(b.lostBound, 1)
 	if !frontier && !b.unbounded {
-		// An empty frontier means the tree was fully explored; a limit that
-		// fired in the same instant proved nothing weaker.
-		b.limitHit = false
+		// An empty frontier means the tree was fully explored; a limit,
+		// deadline or cancellation that fired in the same instant proved
+		// nothing weaker.
+		b.limitHit, b.timeHit, b.canceled = false, false, false
 	}
 	var bound float64
 	switch {
@@ -508,13 +588,26 @@ func (b *bnb) finish() *Solution {
 		bound = b.incObj // +Inf when no incumbent: min over an empty frontier
 	}
 	sol := &Solution{Nodes: b.nodes, Bound: bound}
+	stopped := b.limitHit || b.timeHit || b.canceled
 	switch {
 	case b.unbounded:
 		sol.Status = StatusUnbounded
-	case b.hasInc && (!b.limitHit || !improves(bound, b.incObj, b.opts.RelGap)):
+	case b.hasInc && (!stopped || !improves(bound, b.incObj, b.opts.RelGap)):
 		sol.Status = StatusOptimal
 		sol.X = b.incumbent
 		sol.Obj = b.incObj
+	case b.timeHit:
+		sol.Status = StatusTimeLimit
+		if b.hasInc {
+			sol.X = b.incumbent
+			sol.Obj = b.incObj
+		}
+	case b.canceled:
+		sol.Status = StatusCanceled
+		if b.hasInc {
+			sol.X = b.incumbent
+			sol.Obj = b.incObj
+		}
 	case b.hasInc:
 		sol.Status = StatusFeasible
 		sol.X = b.incumbent
@@ -573,9 +666,9 @@ func (b *bnb) processNode(id int, work *lp.Problem, nd *node) {
 		var sol *lp.Solution
 		var err error
 		if nd.basis != nil && !b.opts.NoWarmStart {
-			sol, err = lp.SolveFrom(work, nd.basis, b.lpOpts)
+			sol, err = lp.SolveFromCtx(b.ctx, work, nd.basis, b.lpOpts)
 		} else {
-			sol, err = lp.SolveWithOptions(work, b.lpOpts)
+			sol, err = lp.SolveCtx(b.ctx, work, b.lpOpts)
 		}
 		if err != nil {
 			return
@@ -612,6 +705,13 @@ func (b *bnb) processNode(id int, work *lp.Problem, nd *node) {
 			// it does not have. Record the parent bound as "lost" so the
 			// final bound and status account for the unexplored subtree.
 			b.recordLost(nd.bound)
+			return
+		case lp.StatusCanceled:
+			// The node LP observed the context dying mid-solve. The subtree
+			// bound is lost exactly as at an LP iteration limit, but the
+			// stop is classified as a deadline/cancellation, not a search
+			// limit, and the whole search winds down.
+			b.recordLostCtx(nd.bound)
 			return
 		}
 		if nd.branchVar >= 0 && !math.IsInf(nd.bound, -1) {

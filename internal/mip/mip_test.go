@@ -401,6 +401,8 @@ func TestStatusStrings(t *testing.T) {
 		StatusUnbounded:  "unbounded",
 		StatusFeasible:   "feasible",
 		StatusLimit:      "limit",
+		StatusTimeLimit:  "time-limit",
+		StatusCanceled:   "canceled",
 	}
 	for s, w := range want {
 		if s.String() != w {
