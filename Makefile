@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race check bench
+.PHONY: build test vet lint race check bench bench-sparse
 
 build:
 	$(GO) build ./...
@@ -25,3 +25,8 @@ check: vet lint race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# Smoke-run the sparse-core benchmarks (solve wall-clock vs the dense/full-
+# pricing path, plus model-build allocations); baselines in BENCH_sparse.json.
+bench-sparse:
+	$(GO) test -run '^$$' -bench 'BenchmarkSparseVsDenseSRRP|BenchmarkSRRPModelBuild' -benchtime 1x .

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"rentplan/internal/experiments"
@@ -20,14 +21,43 @@ import (
 
 func main() {
 	var (
-		quick  = flag.Bool("quick", false, "use the reduced test-scale configuration")
-		search = flag.Bool("search-orders", false, "run the (slow) SARIMA order search for Fig. 8")
-		out    = flag.String("out", "", "output file (default stdout)")
-		seed   = flag.Int64("seed", 7, "seed for the quick configuration")
-		noExt  = flag.Bool("no-extensions", false, "skip the beyond-the-paper extension studies")
-		budget = flag.Duration("budget", 0, "wall-clock budget per rolling re-solve in the Fig. 12 executors (0 = unlimited)")
+		quick   = flag.Bool("quick", false, "use the reduced test-scale configuration")
+		search  = flag.Bool("search-orders", false, "run the (slow) SARIMA order search for Fig. 8")
+		out     = flag.String("out", "", "output file (default stdout)")
+		seed    = flag.Int64("seed", 7, "seed for the quick configuration")
+		noExt   = flag.Bool("no-extensions", false, "skip the beyond-the-paper extension studies")
+		budget  = flag.Duration("budget", 0, "wall-clock budget per rolling re-solve in the Fig. 12 executors (0 = unlimited)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "paperrepro:", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "paperrepro:", err)
+			}
+		}()
+	}
 
 	var cfg *experiments.Config
 	var err error

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"os"
 
+	"runtime/pprof"
+
 	"rentplan/internal/core"
 	"rentplan/internal/demand"
 	"rentplan/internal/market"
@@ -45,8 +47,37 @@ func main() {
 		workers    = flag.Int("workers", 0, "branch-and-bound workers for MILP solves (0 = all cores, 1 = serial)")
 		verbose    = flag.Bool("verbose", false, "stream MILP solver progress (and exec degradations) to stderr")
 		budget     = flag.Duration("budget", 0, "wall-clock budget per rolling re-solve in exec mode (0 = unlimited); arms the degradation ladder")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rentplan:", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "rentplan:", err)
+			}
+		}()
+	}
 
 	if *specFile != "" {
 		f, err := os.Open(*specFile)
@@ -234,8 +265,10 @@ func main() {
 }
 
 // printProgress streams one MILP solver snapshot per callback to stderr,
-// including the warm-start dispatch counts (hit/miss/fallback) and the mean
-// simplex iterations per warm-started versus cold-started node.
+// including the warm-start dispatch counts (hit/miss/fallback), the mean
+// simplex iterations per warm-started versus cold-started node, and the
+// sparse-pricing counters (full pricing sweeps, candidate-list hits, and the
+// constraint-matrix nonzero count).
 func printProgress(st mip.Stats) {
 	inc := "-"
 	if st.HasIncumbent {
@@ -243,11 +276,12 @@ func printProgress(st mip.Stats) {
 	}
 	warmNodes := st.WarmHits + st.WarmMisses + st.WarmFallbacks
 	fmt.Fprintf(os.Stderr,
-		"rentplan: mip %7.3fs %8d nodes (%6.0f/s) open %-6d iters %-8d inc %-12s bound %-12.6g gap %-9.3g warm %d/%d/%d it/node %s warm, %s cold\n",
+		"rentplan: mip %7.3fs %8d nodes (%6.0f/s) open %-6d iters %-8d inc %-12s bound %-12.6g gap %-9.3g warm %d/%d/%d it/node %s warm, %s cold sweeps %-8d cand %-8d nnz %d\n",
 		st.Elapsed.Seconds(), st.Nodes, st.NodesPerSec, st.OpenNodes,
 		st.SimplexIters, inc, st.Bound, st.Gap,
 		st.WarmHits, st.WarmMisses, st.WarmFallbacks,
-		perNode(st.WarmIters, warmNodes), perNode(st.ColdIters, st.ColdNodes))
+		perNode(st.WarmIters, warmNodes), perNode(st.ColdIters, st.ColdNodes),
+		st.PricingSweeps, st.CandidateHits, st.NNZ)
 }
 
 // perNode formats a mean iteration count per node, or "-" when no node of

@@ -355,6 +355,7 @@ func ExtensiveForm(p *Problem) (*lp.Problem, error) {
 		C:     make([]float64, nTot),
 		Lower: make([]float64, nTot),
 		Upper: make([]float64, nTot),
+		SA:    []lp.SparseRow{},
 	}
 	copy(ext.C, p.C)
 	for j := 0; j < nTot; j++ {
@@ -371,23 +372,30 @@ func ExtensiveForm(p *Problem) (*lp.Problem, error) {
 			ext.C[offsets[k]+j] = sc.Prob * q
 		}
 	}
+	// Sparse-backed rows keep the stacked matrix at O(nnz): the block
+	// structure [A; T_k | W_k] is mostly zero once every scenario's recourse
+	// columns are appended side by side.
 	for i, row := range p.A {
-		r := make([]float64, nTot)
-		copy(r, row)
-		ext.A = append(ext.A, r)
-		ext.Rel = append(ext.Rel, p.Rel[i])
-		ext.B = append(ext.B, p.B[i])
+		ext.AddRow(row, p.Rel[i], p.B[i])
 	}
+	ix := make([]int, 0, n)
+	val := make([]float64, 0, n)
 	for k, sc := range p.Scenarios {
 		for i := range sc.W {
-			r := make([]float64, nTot)
-			copy(r, sc.T[i])
-			for j, w := range sc.W[i] {
-				r[offsets[k]+j] = w
+			ix, val = ix[:0], val[:0]
+			for j, t := range sc.T[i] {
+				if t != 0 { //lint:ignore rentlint/floatcmp exact-zero skip: structural sparsity only, zeros contribute nothing
+					ix = append(ix, j)
+					val = append(val, t)
+				}
 			}
-			ext.A = append(ext.A, r)
-			ext.Rel = append(ext.Rel, sc.Rel[i])
-			ext.B = append(ext.B, sc.H[i])
+			for j, w := range sc.W[i] {
+				if w != 0 { //lint:ignore rentlint/floatcmp exact-zero skip: structural sparsity only, zeros contribute nothing
+					ix = append(ix, offsets[k]+j)
+					val = append(val, w)
+				}
+			}
+			ext.AddSparseRow(ix, val, sc.Rel[i], sc.H[i])
 		}
 	}
 	return ext, nil

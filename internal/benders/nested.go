@@ -103,6 +103,7 @@ func SolveTreeLPCtx(ctx context.Context, tp *lotsize.TreeProblem, opts NestedOpt
 			C:     make([]float64, nv),
 			Lower: make([]float64, nv),
 			Upper: make([]float64, nv),
+			SA:    []lp.SparseRow{},
 		}
 		pv := tp.Prob[v]
 		prob.C[0] = pv * tp.Unit[v]
@@ -117,32 +118,16 @@ func SolveTreeLPCtx(ctx context.Context, tp *lotsize.TreeProblem, opts NestedOpt
 			prob.Upper[3] = math.Inf(1)
 		}
 		// Balance: α − β = D_v − b.
-		row := make([]float64, nv)
-		row[0], row[1] = 1, -1
-		prob.A = append(prob.A, row)
-		prob.Rel = append(prob.Rel, lp.EQ)
-		prob.B = append(prob.B, tp.Demand[v]-b)
+		prob.AddSparseRow([]int{0, 1}, []float64{1, -1}, lp.EQ, tp.Demand[v]-b)
 		// Forcing: α − Bα·χ ≤ 0 with the tight per-vertex bound.
-		rowF := make([]float64, nv)
-		rowF[0], rowF[2] = 1, -maxRemain[v]
-		prob.A = append(prob.A, rowF)
-		prob.Rel = append(prob.Rel, lp.LE)
-		prob.B = append(prob.B, 0)
+		prob.AddSparseRow([]int{0, 2}, []float64{1, -maxRemain[v]}, lp.LE, 0)
 		// Valid inequality α − β ≤ D·χ (production serves the current
 		// demand or enters stock), tightening the relaxation.
-		rowV := make([]float64, nv)
-		rowV[0], rowV[1], rowV[2] = 1, -1, -tp.Demand[v]
-		prob.A = append(prob.A, rowV)
-		prob.Rel = append(prob.Rel, lp.LE)
-		prob.B = append(prob.B, 0)
+		prob.AddSparseRow([]int{0, 1, 2}, []float64{1, -1, -tp.Demand[v]}, lp.LE, 0)
 		// Cuts: θ − a·β ≥ r.
 		if nv == 4 {
 			for _, ct := range cuts[v] {
-				rowC := make([]float64, nv)
-				rowC[1], rowC[3] = -ct.a, 1
-				prob.A = append(prob.A, rowC)
-				prob.Rel = append(prob.Rel, lp.GE)
-				prob.B = append(prob.B, ct.r)
+				prob.AddSparseRow([]int{1, 3}, []float64{-ct.a, 1}, lp.GE, ct.r)
 			}
 		}
 		sol, err := lp.SolveCtx(ctx, prob, lp.Options{})

@@ -113,17 +113,15 @@ func SolveDRRPCutAndBranchCtx(ctx context.Context, par Params, prices, dem []flo
 				continue
 			}
 			// Append the violated inequality.
-			row := make([]float64, len(prob.LP.C))
+			ents := make([]nz, 0, l+1)
 			for t := 0; t <= l; t++ {
 				if inS[t] {
-					row[ix.Alpha(t)] = 1
+					ents = append(ents, nz{ix.Alpha(t), 1})
 				} else {
-					row[ix.Chi(t)] = dtl(t, l)
+					ents = append(ents, nz{ix.Chi(t), dtl(t, l)})
 				}
 			}
-			prob.LP.A = append(prob.LP.A, row)
-			prob.LP.Rel = append(prob.LP.Rel, lp.GE)
-			prob.LP.B = append(prob.LP.B, dtl(0, l))
+			addRowNZ(prob.LP, geRel, dtl(0, l), ents...)
 			added++
 		}
 		stats.CutsAdded += added

@@ -106,37 +106,30 @@ func SolveSRRPCVaRCtx(ctx context.Context, par Params, tree *scenario.Tree, dem 
 	}
 	// Flow constraints per vertex (same as BuildSRRPMILP).
 	for v := 0; v < n; v++ {
-		row := make([]float64, nv)
-		row[ix.Alpha(v)] = 1
-		row[ix.Beta(v)] = -1
 		rhs := dem[tree.Stage[v]]
 		if v == 0 {
 			rhs -= par.Epsilon
+			addRowNZ(lpp, eqRel, rhs,
+				nz{ix.Alpha(v), 1}, nz{ix.Beta(v), -1})
 		} else {
-			row[ix.Beta(tree.Parent[v])] = 1
+			addRowNZ(lpp, eqRel, rhs,
+				nz{ix.Alpha(v), 1}, nz{ix.Beta(v), -1}, nz{ix.Beta(tree.Parent[v]), 1})
 		}
-		addRow(lpp, row, eqRel, rhs)
-		row2 := make([]float64, nv)
-		row2[ix.Alpha(v)] = 1
-		row2[ix.Chi(v)] = -remaining[tree.Stage[v]]
-		addRow(lpp, row2, leRel, 0)
-		row4 := make([]float64, nv)
-		row4[ix.Alpha(v)] = 1
-		row4[ix.Beta(v)] = -1
-		row4[ix.Chi(v)] = -dem[tree.Stage[v]]
-		addRow(lpp, row4, leRel, 0)
+		addRowNZ(lpp, leRel, 0,
+			nz{ix.Alpha(v), 1}, nz{ix.Chi(v), -remaining[tree.Stage[v]]})
+		addRowNZ(lpp, leRel, 0,
+			nz{ix.Alpha(v), 1}, nz{ix.Beta(v), -1}, nz{ix.Chi(v), -dem[tree.Stage[v]]})
 	}
 	// CVaR tail rows: u_l + η − varCost_l ≥ transferOut (per-leaf constant).
 	for l, leaf := range leaves {
-		row := make([]float64, nv)
-		row[uIx(l)] = 1
-		row[etaIx] = 1
-		for _, v := range tree.Path(leaf) {
-			row[ix.Alpha(v)] -= unit
-			row[ix.Beta(v)] -= hold
-			row[ix.Chi(v)] -= tree.Price[v]
+		path := tree.Path(leaf)
+		ents := make([]nz, 0, 2+3*len(path))
+		ents = append(ents, nz{uIx(l), 1}, nz{etaIx, 1})
+		for _, v := range path {
+			ents = append(ents,
+				nz{ix.Alpha(v), -unit}, nz{ix.Beta(v), -hold}, nz{ix.Chi(v), -tree.Price[v]})
 		}
-		addRow(lpp, row, geRel, transferOut)
+		addRowNZ(lpp, geRel, transferOut, ents...)
 	}
 	ints := make([]bool, nv)
 	for v := 0; v < n; v++ {

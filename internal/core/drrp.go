@@ -219,37 +219,30 @@ func BuildDRRPMILP(par Params, prices, dem []float64) (*mip.Problem, MILPIndex, 
 	}
 	for t := 0; t < T; t++ {
 		// (2) inventory balance: β_{t−1} + α_t − β_t = D_t.
-		row := make([]float64, nv)
-		row[ix.Alpha(t)] = 1
-		row[ix.Beta(t)] = -1
 		rhs := dem[t]
 		if t > 0 {
-			row[ix.Beta(t-1)] = 1
+			addRowNZ(lpp, eqRel, rhs,
+				nz{ix.Alpha(t), 1}, nz{ix.Beta(t), -1}, nz{ix.Beta(t - 1), 1})
 		} else {
 			rhs -= par.Epsilon
+			addRowNZ(lpp, eqRel, rhs,
+				nz{ix.Alpha(t), 1}, nz{ix.Beta(t), -1})
 		}
-		addRow(lpp, row, eqRel, rhs)
 		// (4) forcing: α_t ≤ B_t·χ_t with B_t the remaining demand.
-		row2 := make([]float64, nv)
-		row2[ix.Alpha(t)] = 1
-		row2[ix.Chi(t)] = -remaining[t]
-		addRow(lpp, row2, leRel, 0)
+		addRowNZ(lpp, leRel, 0,
+			nz{ix.Alpha(t), 1}, nz{ix.Chi(t), -remaining[t]})
 		// Valid inequality strengthening the relaxation: production either
 		// serves the current slot's demand or enters stock,
 		// α_t − β_t ≤ D_t·χ_t.
-		row4 := make([]float64, nv)
-		row4[ix.Alpha(t)] = 1
-		row4[ix.Beta(t)] = -1
-		row4[ix.Chi(t)] = -dem[t]
-		addRow(lpp, row4, leRel, 0)
+		addRowNZ(lpp, leRel, 0,
+			nz{ix.Alpha(t), 1}, nz{ix.Beta(t), -1}, nz{ix.Chi(t), -dem[t]})
 		// (3) bottleneck: P·α_t ≤ Q_t (only when configured).
 		if par.Capacitated() {
 			if t >= len(par.Capacity) {
 				return nil, MILPIndex{}, fmt.Errorf("core: capacity series shorter than horizon (%d < %d)", len(par.Capacity), T)
 			}
-			row3 := make([]float64, nv)
-			row3[ix.Alpha(t)] = par.ConsumptionRate
-			addRow(lpp, row3, leRel, par.Capacity[t])
+			addRowNZ(lpp, leRel, par.Capacity[t],
+				nz{ix.Alpha(t), par.ConsumptionRate})
 		}
 	}
 	ints := make([]bool, nv)

@@ -14,12 +14,17 @@ const (
 	geRel = lp.GE
 )
 
-// newLP allocates an empty LP with nv variables, default bounds [0, +Inf).
+// newLP allocates an empty sparse-backed LP with nv variables, default
+// bounds [0, +Inf). The non-nil empty SA marks the problem sparse, so every
+// subsequently added row is stored as nonzeros only — scenario-tree rows
+// couple a handful of columns, and the dense alternative allocates O(nv)
+// per row, which is what made deep trees impractical to even build.
 func newLP(nv int) *lp.Problem {
 	p := &lp.Problem{
 		C:     make([]float64, nv),
 		Lower: make([]float64, nv),
 		Upper: make([]float64, nv),
+		SA:    []lp.SparseRow{},
 	}
 	for j := range p.Upper {
 		p.Upper[j] = math.Inf(1)
@@ -27,8 +32,20 @@ func newLP(nv int) *lp.Problem {
 	return p
 }
 
-func addRow(p *lp.Problem, row []float64, rel lp.Rel, rhs float64) {
-	p.A = append(p.A, row)
-	p.Rel = append(p.Rel, rel)
-	p.B = append(p.B, rhs)
+// nz is one structural nonzero of a constraint row under construction.
+type nz struct {
+	j int
+	v float64
+}
+
+// addRowNZ appends one constraint row from its nonzeros, allocating O(nnz)
+// per row. Entries may arrive in any order; duplicates are summed and exact
+// zeros dropped by the normalisation in lp.NewSparseRow.
+func addRowNZ(p *lp.Problem, rel lp.Rel, rhs float64, ents ...nz) {
+	ix := make([]int, len(ents))
+	v := make([]float64, len(ents))
+	for t, e := range ents {
+		ix[t], v[t] = e.j, e.v
+	}
+	p.AddSparseRow(ix, v, rel, rhs)
 }

@@ -189,36 +189,29 @@ func BuildSRRPMILP(par Params, tree *scenario.Tree, dem []float64) (*mip.Problem
 	}
 	for v := 0; v < n; v++ {
 		// (14) balance: β_{π(v)} + α_v − β_v = D_{τ(v)}.
-		row := make([]float64, nv)
-		row[ix.Alpha(v)] = 1
-		row[ix.Beta(v)] = -1
 		rhs := dem[tree.Stage[v]]
 		if v == 0 {
 			rhs -= par.Epsilon
+			addRowNZ(lpp, eqRel, rhs,
+				nz{ix.Alpha(v), 1}, nz{ix.Beta(v), -1})
 		} else {
-			row[ix.Beta(tree.Parent[v])] = 1
+			addRowNZ(lpp, eqRel, rhs,
+				nz{ix.Alpha(v), 1}, nz{ix.Beta(v), -1}, nz{ix.Beta(tree.Parent[v]), 1})
 		}
-		addRow(lpp, row, eqRel, rhs)
 		// (16) forcing with the remaining-path-demand bound.
-		row2 := make([]float64, nv)
-		row2[ix.Alpha(v)] = 1
-		row2[ix.Chi(v)] = -remaining[tree.Stage[v]]
-		addRow(lpp, row2, leRel, 0)
+		addRowNZ(lpp, leRel, 0,
+			nz{ix.Alpha(v), 1}, nz{ix.Chi(v), -remaining[tree.Stage[v]]})
 		// Valid inequality: α_v − β_v ≤ D_{τ(v)}·χ_v.
-		row4 := make([]float64, nv)
-		row4[ix.Alpha(v)] = 1
-		row4[ix.Beta(v)] = -1
-		row4[ix.Chi(v)] = -dem[tree.Stage[v]]
-		addRow(lpp, row4, leRel, 0)
+		addRowNZ(lpp, leRel, 0,
+			nz{ix.Alpha(v), 1}, nz{ix.Beta(v), -1}, nz{ix.Chi(v), -dem[tree.Stage[v]]})
 		// (15) bottleneck per stage.
 		if par.Capacitated() {
 			s := tree.Stage[v]
 			if s >= len(par.Capacity) {
 				return nil, MILPIndex{}, fmt.Errorf("core: capacity series shorter than stages (%d < %d)", len(par.Capacity), tree.Stages())
 			}
-			row3 := make([]float64, nv)
-			row3[ix.Alpha(v)] = par.ConsumptionRate
-			addRow(lpp, row3, leRel, par.Capacity[s])
+			addRowNZ(lpp, leRel, par.Capacity[s],
+				nz{ix.Alpha(v), par.ConsumptionRate})
 		}
 	}
 	ints := make([]bool, nv)

@@ -143,9 +143,80 @@ func TestSolveSRRPVertexDemandsErrors(t *testing.T) {
 	}
 	capPar := par
 	capPar.ConsumptionRate = 1
-	capPar.Capacity = []float64{1, 1, 1}
-	if _, err := SolveSRRPVertexDemands(capPar, tr, make([]float64, tr.N())); err == nil {
-		t.Fatal("want capacitated-unsupported error")
+	capPar.Capacity = []float64{1} // shorter than the 2 stages
+	dems := make([]float64, tr.N())
+	for v := range dems {
+		dems[v] = 0.4
+	}
+	if _, err := SolveSRRPVertexDemands(capPar, tr, dems); err == nil {
+		t.Fatal("want capacity-series-too-short error")
+	}
+}
+
+func TestCapacitatedJointMatchesDPWhenSlack(t *testing.T) {
+	// With capacity loose enough to never bind, the capacitated MILP path
+	// must reproduce the exact uncapacitated tree-DP optimum.
+	par := DefaultParams(market.M1Large)
+	par.Epsilon = 0.3
+	bids := []float64{0.12, 0.12}
+	demState := stats.Discrete{Values: []float64{0.2, 0.5, 0.9}, Probs: []float64{0.3, 0.5, 0.2}}
+	tree, dem, err := scenario.BuildJoint(baseDist(), bids, 0.4, demState, 0.4,
+		scenario.BuildConfig{Stages: 2, MaxBranch: 3, RootPrice: 0.12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := SolveSRRPVertexDemands(par, tree, dem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capPar := par
+	capPar.ConsumptionRate = 1
+	capPar.Capacity = []float64{100, 100, 100}
+	got, err := SolveSRRPVertexDemands(capPar, tree, dem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Degraded {
+		t.Fatal("MILP path should prove optimality on this tiny tree")
+	}
+	if math.Abs(got.ExpCost-ref.ExpCost) > 1e-7 {
+		t.Fatalf("capacitated-but-slack MILP %v != tree DP %v", got.ExpCost, ref.ExpCost)
+	}
+}
+
+func TestCapacitatedJointBindingCapacity(t *testing.T) {
+	// A binding capacity forces production to spread over earlier vertices,
+	// so the optimum costs at least as much as the unconstrained one, and the
+	// plan must respect P·α_v ≤ Q_s at every vertex.
+	par := DefaultParams(market.M1Large)
+	par.Epsilon = 0.1
+	bids := []float64{0.12, 0.12}
+	demState := stats.Discrete{Values: []float64{0.3, 0.8}, Probs: []float64{0.5, 0.5}}
+	tree, dem, err := scenario.BuildJoint(baseDist(), bids, 0.4, demState, 0.4,
+		scenario.BuildConfig{Stages: 2, MaxBranch: 2, RootPrice: 0.12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := SolveSRRPVertexDemands(par, tree, dem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capPar := par
+	capPar.ConsumptionRate = 1
+	// Binding but feasible: the worst path needs 0.4+0.8+0.8−ε = 1.9 total,
+	// and 3 slots at 0.7 give 2.1.
+	capPar.Capacity = []float64{0.7, 0.7, 0.7}
+	got, err := SolveSRRPVertexDemands(capPar, tree, dem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < tree.N(); v++ {
+		if got.Alpha[v] > 0.7+1e-9 {
+			t.Fatalf("capacity violated at vertex %d: alpha %v", v, got.Alpha[v])
+		}
+	}
+	if got.ExpCost < free.ExpCost-1e-9 {
+		t.Fatalf("capacitated optimum %v beats unconstrained %v", got.ExpCost, free.ExpCost)
 	}
 }
 

@@ -17,9 +17,7 @@ func chainCapMILP(p *ChainProblem, capacity float64) *mip.Problem {
 	for t := 0; t < T; t++ {
 		row := make([]float64, nv)
 		row[t] = 1 // alpha index
-		prob.LP.A = append(prob.LP.A, row)
-		prob.LP.Rel = append(prob.LP.Rel, lp.LE)
-		prob.LP.B = append(prob.LP.B, capacity)
+		prob.LP.AddRow(row, lp.LE, capacity)
 	}
 	return prob
 }

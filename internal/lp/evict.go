@@ -11,7 +11,6 @@ import (
 // columns. Rows whose artificial cannot be replaced are linearly dependent
 // on the others; their artificial stays basic, permanently fixed at zero.
 func (s *simplex) evictArtificials() {
-	col := make([]float64, s.m)
 	for r := 0; r < s.m; r++ {
 		if s.basis[r] < s.nTot {
 			continue
@@ -25,23 +24,12 @@ func (s *simplex) evictArtificials() {
 			if s.stat[j] == statusBasic || s.lo[j] == s.hi[j] {
 				continue
 			}
-			s.colInto(j, col)
-			e := 0.0
-			row := s.binv[r]
-			for k := 0; k < s.m; k++ {
-				e += row[k] * col[k]
-			}
+			e := s.colDot(s.binv[r], j)
 			if math.Abs(e) > num.EvictPivotTol {
 				found = j
-				wFound = make([]float64, s.m)
-				for i := 0; i < s.m; i++ {
-					wi := 0.0
-					bi := s.binv[i]
-					for k := 0; k < s.m; k++ {
-						wi += bi[k] * col[k]
-					}
-					wFound[i] = wi
-				}
+				// s.w is free between phases; reuse it for the FTRAN column.
+				s.ftranInto(j, s.w)
+				wFound = s.w
 			}
 		}
 		if found < 0 {

@@ -1,14 +1,17 @@
-// Package lp provides a dense, bounded-variable, two-phase primal simplex
-// solver for linear programs of the form
+// Package lp provides a bounded-variable, two-phase primal simplex solver
+// for linear programs of the form
 //
 //	minimize    cᵀx
 //	subject to  Aᵢx {≤,=,≥} bᵢ   for every row i
 //	            lⱼ ≤ xⱼ ≤ uⱼ     for every variable j
 //
-// Variable bounds may be infinite (math.Inf). The solver is written for the
-// moderately sized problems produced by the rental-planning models in this
-// repository (hundreds to a few thousand variables); it favours robustness
-// and clarity over sparse-matrix performance.
+// Variable bounds may be infinite (math.Inf). The constraint matrix may be
+// supplied dense (Problem.A) or sparse (Problem.SA); on solve entry either
+// representation is compiled into the same immutable compressed-sparse-
+// column form, so the hot loops — pricing, FTRAN, the ratio test — iterate
+// structural nonzeros only. The solver is written for the moderately sized
+// scenario-tree problems produced by the rental-planning models in this
+// repository (hundreds to a few thousand variables and rows).
 //
 // Solve and SolveWithOptions are reentrant: each call allocates a private
 // simplex instance and never mutates the Problem, so concurrent solves of
@@ -85,12 +88,19 @@ func (s Status) String() string {
 	return fmt.Sprintf("Status(%d)", int8(s))
 }
 
-// Problem is a linear program in row-oriented dense form.
+// Problem is a linear program in row-oriented form. Constraint rows live in
+// exactly one of two representations: the dense A, or the sparse SA (one
+// SparseRow per constraint). A non-nil SA — even an empty one — marks the
+// problem sparse-backed and A must then stay nil; the solver compiles either
+// representation into the same internal CSC form, so results are identical.
 type Problem struct {
 	// C holds the objective coefficients; len(C) is the variable count.
 	C []float64
-	// A holds one dense coefficient row per constraint.
+	// A holds one dense coefficient row per constraint. Nil when SA is used.
 	A [][]float64
+	// SA holds one sparse coefficient row per constraint. Nil when A is
+	// used; non-nil (possibly empty) marks the problem sparse-backed.
+	SA []SparseRow
 	// Rel holds the relational operator of each row.
 	Rel []Rel
 	// B holds the right-hand side of each row.
@@ -105,7 +115,12 @@ type Problem struct {
 func (p *Problem) NumVars() int { return len(p.C) }
 
 // NumRows returns the number of constraint rows.
-func (p *Problem) NumRows() int { return len(p.A) }
+func (p *Problem) NumRows() int {
+	if p.SA != nil {
+		return len(p.SA)
+	}
+	return len(p.A)
+}
 
 // Validate checks dimensional consistency, bound sanity, and that every
 // numeric entry of the program — costs, coefficients, right-hand sides and
@@ -115,21 +130,27 @@ func (p *Problem) NumRows() int { return len(p.A) }
 // in the direction that leaves the interval nonempty.
 func (p *Problem) Validate() error {
 	n := len(p.C)
-	if len(p.A) != len(p.B) || len(p.A) != len(p.Rel) {
-		return fmt.Errorf("lp: row count mismatch: |A|=%d |B|=%d |Rel|=%d", len(p.A), len(p.B), len(p.Rel))
-	}
 	for j, c := range p.C {
 		if math.IsNaN(c) || math.IsInf(c, 0) {
 			return fmt.Errorf("lp: objective coefficient %d is %g", j, c)
 		}
 	}
-	for i, row := range p.A {
-		if len(row) != n {
-			return fmt.Errorf("lp: row %d has %d coefficients, want %d", i, len(row), n)
+	if p.sparseBacked() {
+		if err := p.validateSparse(n); err != nil {
+			return err
 		}
-		for j, a := range row {
-			if math.IsNaN(a) || math.IsInf(a, 0) {
-				return fmt.Errorf("lp: A[%d][%d] is %g", i, j, a)
+	} else {
+		if len(p.A) != len(p.B) || len(p.A) != len(p.Rel) {
+			return fmt.Errorf("lp: row count mismatch: |A|=%d |B|=%d |Rel|=%d", len(p.A), len(p.B), len(p.Rel))
+		}
+		for i, row := range p.A {
+			if len(row) != n {
+				return fmt.Errorf("lp: row %d has %d coefficients, want %d", i, len(row), n)
+			}
+			for j, a := range row {
+				if math.IsNaN(a) || math.IsInf(a, 0) {
+					return fmt.Errorf("lp: A[%d][%d] is %g", i, j, a)
+				}
 			}
 		}
 	}
@@ -176,10 +197,17 @@ func (p *Problem) Clone() *Problem {
 		C:   append([]float64(nil), p.C...),
 		B:   append([]float64(nil), p.B...),
 		Rel: append([]Rel(nil), p.Rel...),
-		A:   make([][]float64, len(p.A)),
 	}
-	for i, row := range p.A {
-		q.A[i] = append([]float64(nil), row...)
+	if p.SA != nil {
+		q.SA = make([]SparseRow, len(p.SA))
+		for i := range p.SA {
+			q.SA[i] = p.SA[i].Clone()
+		}
+	} else {
+		q.A = make([][]float64, len(p.A))
+		for i, row := range p.A {
+			q.A[i] = append([]float64(nil), row...)
+		}
 	}
 	if p.Lower != nil {
 		q.Lower = append([]float64(nil), p.Lower...)
@@ -222,6 +250,17 @@ type Solution struct {
 	// WarmStart records how a SolveFrom call used the supplied basis;
 	// WarmNone for plain Solve/SolveWithOptions calls.
 	WarmStart WarmStart
+
+	// PricingSweeps counts full pricing sweeps over every column: one per
+	// pivot under Options.FullPricing, and only candidate-list
+	// (re)builds — plus anti-cycling and repair iterations — otherwise.
+	PricingSweeps int
+	// CandidateHits counts pivots whose entering column was served from
+	// the candidate list without a full sweep. Zero under FullPricing.
+	CandidateHits int
+	// NNZ is the structural nonzero count of the compiled constraint
+	// matrix, identical for both Problem representations.
+	NNZ int
 }
 
 // Options tunes the solver. The zero value selects sensible defaults.
@@ -230,6 +269,14 @@ type Options struct {
 	MaxIter int
 	// Tol is the feasibility/optimality tolerance; ≤0 selects num.LPTol.
 	Tol float64
+	// FullPricing disables candidate-list partial pricing and the sparse
+	// triangular refactorisation, restoring the classic loop: exact duals
+	// recomputed every pivot, a full Dantzig sweep per iteration, and
+	// dense Gauss–Jordan refactorisation. Both modes reach the same
+	// optimum (the candidate list only changes which improving column
+	// enters first); the switch exists for A/B benchmarking and for
+	// isolating pricing regressions.
+	FullPricing bool
 }
 
 // Resolved returns the options with every zero field replaced by its default
@@ -277,5 +324,7 @@ func SolveCtx(ctx context.Context, p *Problem, opts Options) (*Solution, error) 
 	}
 	s := newSimplex(p, opts.withDefaults(p.NumRows(), p.NumVars()))
 	s.ctx = ctx
-	return s.solve()
+	sol, err := s.solve()
+	s.release()
+	return sol, err
 }

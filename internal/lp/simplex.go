@@ -3,6 +3,7 @@ package lp
 import (
 	"context"
 	"math"
+	"sync"
 
 	"rentplan/internal/num"
 )
@@ -31,6 +32,10 @@ type simplex struct {
 	nTot int // n + m (structural + slack)
 	nAll int // n + 2m (adds artificials)
 
+	// csc is the structural constraint matrix compiled on solve entry; all
+	// matrix access in the hot loops goes through it, never through p.A/p.SA.
+	csc cscMat
+
 	lo, hi []float64 // bounds per column, length nAll
 	cost   []float64 // phase-2 cost per column, length nAll
 	artSgn []float64 // ±1 column sign per artificial row
@@ -43,10 +48,31 @@ type simplex struct {
 
 	// scratch buffers reused across iterations.
 	y, w, acc []float64
+	rhs       []float64 // residual scratch for setup/computeBasicValues
 
 	iters      int
 	degenerate int  // consecutive (near-)degenerate pivots
 	bland      bool // anti-cycling mode
+
+	// Candidate-list pricing state (unused under Options.FullPricing).
+	cand      []int32   // nonbasic columns harvested by the last full sweep
+	candScore []float64 // harvest scores, parallel to cand during rebuild
+	candAge   int       // pivots served since the last rebuild
+	// yExact reports whether y currently equals c_B B⁻¹ exactly (recomputed
+	// from the basis) rather than maintained by the incremental per-pivot
+	// update. Optimality and unboundedness are only ever certified from
+	// exact duals.
+	yExact bool
+	// lastLeave is the basis row exchanged by the most recent pivot, or -1
+	// after a bound flip; pivotRefreshed reports whether that pivot also
+	// refactorised B⁻¹ (invalidating the incremental dual update).
+	lastLeave      int
+	pivotRefreshed bool
+
+	sweeps   int // full pricing sweeps (Solution.PricingSweeps)
+	candHits int // pivots served from the candidate list
+
+	factor peelScratch // triangular-peel refactorisation scratch
 
 	// ctx, when non-nil, is polled every ctxCheckInterval pivots; a canceled
 	// or expired context stops the phase loops with StatusCanceled. Nil on
@@ -60,19 +86,49 @@ func (s *simplex) canceled() bool {
 	return s.ctx != nil && s.ctx.Err() != nil
 }
 
+// simplexPool recycles solver instances across solves, so rolling-horizon
+// replans and branch-and-bound node LPs stop re-allocating O(m²) of basis
+// inverse and O(m+n) of scratch every call. A pooled instance retains only
+// buffers — reset re-derives every semantic field, and release drops the
+// Problem/context/CSC references so nothing user-visible is pinned.
+var simplexPool = sync.Pool{New: func() any { return new(simplex) }}
+
 func newSimplex(p *Problem, opts Options) *simplex {
+	s := simplexPool.Get().(*simplex)
+	s.reset(p, opts)
+	return s
+}
+
+// release returns the solver to the pool. The Solution assembled by result()
+// shares no memory with the solver, so callers release as soon as they hold
+// the Solution.
+func (s *simplex) release() {
+	s.p = nil
+	s.ctx = nil
+	simplexPool.Put(s)
+}
+
+// reset re-initialises a (possibly recycled) solver for one solve of p.
+// Every field the solve reads is either re-assigned here, assigned by the
+// phase setup paths before first use, or explicitly re-zeroed — recycled
+// buffer contents must never leak between solves.
+func (s *simplex) reset(p *Problem, opts Options) {
 	m, n := p.NumRows(), p.NumVars()
-	s := &simplex{
-		p: p, opts: opts,
-		m: m, n: n, nTot: n + m, nAll: n + 2*m,
-	}
-	s.lo = make([]float64, s.nAll)
-	s.hi = make([]float64, s.nAll)
-	s.cost = make([]float64, s.nAll)
-	s.artSgn = make([]float64, m)
+	s.p, s.opts = p, opts
+	s.m, s.n, s.nTot, s.nAll = m, n, n+m, n+2*m
+	s.csc.compile(p)
+	s.lo = growFloat(s.lo, s.nAll)
+	s.hi = growFloat(s.hi, s.nAll)
+	s.cost = growFloat(s.cost, s.nAll)
+	s.artSgn = growFloat(s.artSgn, m)
 	for j := 0; j < n; j++ {
 		s.lo[j], s.hi[j] = p.boundsAt(j)
 		s.cost[j] = p.C[j]
+	}
+	// Slack and artificial columns always cost zero in phase 2; a recycled
+	// cost buffer holds stale values, so zero the tail explicitly.
+	for j := n; j < s.nAll; j++ {
+		s.cost[j] = 0
 	}
 	for i := 0; i < m; i++ {
 		j := n + i
@@ -86,18 +142,32 @@ func newSimplex(p *Problem, opts Options) *simplex {
 		}
 	}
 	// Artificial bounds are assigned in phase 1 setup.
-	s.binv = make([][]float64, m)
-	for i := range s.binv {
-		s.binv[i] = make([]float64, m)
+	if cap(s.binv) < m {
+		s.binv = make([][]float64, m)
 	}
-	s.basis = make([]int, m)
-	s.inRow = make([]int, s.nAll)
-	s.stat = make([]varStatus, s.nAll)
-	s.xval = make([]float64, s.nAll)
-	s.y = make([]float64, m)
-	s.w = make([]float64, m)
-	s.acc = make([]float64, n)
-	return s
+	s.binv = s.binv[:m]
+	for i := range s.binv {
+		s.binv[i] = growFloat(s.binv[i], m)
+	}
+	s.basis = growInt(s.basis, m)
+	s.inRow = growInt(s.inRow, s.nAll)
+	s.stat = growStatus(s.stat, s.nAll)
+	s.xval = growFloat(s.xval, s.nAll)
+	s.y = growFloat(s.y, m)
+	s.w = growFloat(s.w, m)
+	s.acc = growFloat(s.acc, n)
+	s.rhs = growFloat(s.rhs, m)
+	s.iters = 0
+	s.degenerate = 0
+	s.bland = false
+	s.cand = s.cand[:0]
+	s.candAge = 0
+	s.yExact = false
+	s.lastLeave = -1
+	s.pivotRefreshed = false
+	s.sweeps = 0
+	s.candHits = 0
+	s.ctx = nil
 }
 
 // colInto writes column j of the equality-form matrix into dst.
@@ -107,13 +177,64 @@ func (s *simplex) colInto(j int, dst []float64) {
 	}
 	switch {
 	case j < s.n:
-		for i := 0; i < s.m; i++ {
-			dst[i] = s.p.A[i][j]
+		c := &s.csc
+		for t := c.colPtr[j]; t < c.colPtr[j+1]; t++ {
+			dst[c.rowIdx[t]] = c.val[t]
 		}
 	case j < s.nTot:
 		dst[j-s.n] = 1
 	default:
 		dst[j-s.nTot] = s.artSgn[j-s.nTot]
+	}
+}
+
+// ftranInto computes dst = B⁻¹·A_j, iterating only column j's nonzeros
+// against the dense rows of B⁻¹ (slack and artificial unit columns reduce
+// to a single B⁻¹ column read). Relative to the dense dot product this
+// omits only terms with an exact-zero column coefficient, which cannot
+// change any sum beyond the sign of zero partial results.
+func (s *simplex) ftranInto(j int, dst []float64) {
+	m := s.m
+	switch {
+	case j < s.n:
+		c := &s.csc
+		lo, hi := c.colPtr[j], c.colPtr[j+1]
+		for i := 0; i < m; i++ {
+			row := s.binv[i]
+			wi := 0.0
+			for t := lo; t < hi; t++ {
+				wi += row[c.rowIdx[t]] * c.val[t]
+			}
+			dst[i] = wi
+		}
+	case j < s.nTot:
+		k := j - s.n
+		for i := 0; i < m; i++ {
+			dst[i] = s.binv[i][k]
+		}
+	default:
+		k := j - s.nTot
+		sg := s.artSgn[k]
+		for i := 0; i < m; i++ {
+			dst[i] = s.binv[i][k] * sg
+		}
+	}
+}
+
+// colDot returns row · A_j over column j's nonzeros.
+func (s *simplex) colDot(row []float64, j int) float64 {
+	switch {
+	case j < s.n:
+		c := &s.csc
+		acc := 0.0
+		for t := c.colPtr[j]; t < c.colPtr[j+1]; t++ {
+			acc += row[c.rowIdx[t]] * c.val[t]
+		}
+		return acc
+	case j < s.nTot:
+		return row[j-s.n]
+	default:
+		return row[j-s.nTot] * s.artSgn[j-s.nTot]
 	}
 }
 
@@ -214,12 +335,13 @@ func (s *simplex) setupPhase1() bool {
 		s.inRow[j] = -1
 	}
 	// Residual r = b − N·x_rest.
-	r := make([]float64, s.m)
+	r := s.rhs
 	copy(r, s.p.B)
 	for j := 0; j < s.n; j++ {
 		if v := s.xval[j]; v != 0 { //lint:ignore rentlint/floatcmp exact-zero skip: zero rest values contribute nothing to the residual
-			for i := 0; i < s.m; i++ {
-				r[i] -= s.p.A[i][j] * v
+			c := &s.csc
+			for t := c.colPtr[j]; t < c.colPtr[j+1]; t++ {
+				r[c.rowIdx[t]] -= c.val[t] * v
 			}
 		}
 	}
@@ -294,8 +416,54 @@ func (s *simplex) phaseCost(j int, phase1 bool) float64 {
 	return s.cost[j]
 }
 
+// computeDuals recomputes y = c_B B⁻¹ exactly from the current basis.
+func (s *simplex) computeDuals(phase1 bool) {
+	for k := 0; k < s.m; k++ {
+		s.y[k] = 0
+	}
+	for i := 0; i < s.m; i++ {
+		cb := s.phaseCost(s.basis[i], phase1)
+		if cb == 0 { //lint:ignore rentlint/floatcmp exact-zero skip: omitting a zero coefficient changes no sum, for any rounding
+			continue
+		}
+		row := s.binv[i]
+		for k := 0; k < s.m; k++ {
+			s.y[k] += cb * row[k]
+		}
+	}
+	s.yExact = true
+}
+
+// accumAcc recomputes acc = yᵀA over the structural columns by sweeping the
+// CSC columns. Relative to the historical dense row sweep this accumulates
+// the identical nonzero products in the identical (row-index) order per
+// column, omitting only exact-zero terms, so the result matches the dense
+// path bit-for-bit up to the sign of zero entries — which no tolerance
+// comparison downstream can observe.
+func (s *simplex) accumAcc() {
+	c := &s.csc
+	for j := 0; j < s.n; j++ {
+		acc := 0.0
+		for t := c.colPtr[j]; t < c.colPtr[j+1]; t++ {
+			if yi := s.y[c.rowIdx[t]]; yi != 0 { //lint:ignore rentlint/floatcmp exact-zero skip: a zero dual multiplies every entry of the row to zero
+				acc += yi * c.val[t]
+			}
+		}
+		s.acc[j] = acc
+	}
+}
+
 // runPhase iterates pivots until optimality, unboundedness or limits.
 func (s *simplex) runPhase(phase1 bool) Status {
+	if s.opts.FullPricing {
+		return s.runPhaseFull(phase1)
+	}
+	return s.runPhaseSparse(phase1)
+}
+
+// runPhaseFull is the classic loop preserved behind Options.FullPricing:
+// exact duals and a full Dantzig pricing sweep on every pivot.
+func (s *simplex) runPhaseFull(phase1 bool) Status {
 	tol := s.opts.Tol
 	for {
 		if s.iters >= s.opts.MaxIter {
@@ -304,34 +472,9 @@ func (s *simplex) runPhase(phase1 bool) Status {
 		if s.iters%ctxCheckInterval == 0 && s.canceled() {
 			return StatusCanceled
 		}
-		// Dual values y = c_B B⁻¹.
-		for k := 0; k < s.m; k++ {
-			s.y[k] = 0
-		}
-		for i := 0; i < s.m; i++ {
-			cb := s.phaseCost(s.basis[i], phase1)
-			if cb == 0 { //lint:ignore rentlint/floatcmp exact-zero skip: omitting a zero coefficient changes no sum, for any rounding
-				continue
-			}
-			row := s.binv[i]
-			for k := 0; k < s.m; k++ {
-				s.y[k] += cb * row[k]
-			}
-		}
-		// acc = yᵀA over structural columns (row sweep for locality).
-		for j := 0; j < s.n; j++ {
-			s.acc[j] = 0
-		}
-		for i := 0; i < s.m; i++ {
-			yi := s.y[i]
-			if yi == 0 { //lint:ignore rentlint/floatcmp exact-zero skip: a zero dual multiplies every entry of the row to zero
-				continue
-			}
-			row := s.p.A[i]
-			for j := 0; j < s.n; j++ {
-				s.acc[j] += yi * row[j]
-			}
-		}
+		s.computeDuals(phase1)
+		s.accumAcc()
+		s.sweeps++
 		enter, dir := s.priceEntering(phase1, tol)
 		if enter < 0 {
 			return StatusOptimal // no improving column
@@ -345,6 +488,237 @@ func (s *simplex) runPhase(phase1 bool) Status {
 		}
 		s.iters++
 	}
+}
+
+// runPhaseSparse is the default loop: candidate-list partial pricing over
+// incrementally maintained duals. A full sweep (always over freshly
+// recomputed duals) harvests the candCap() best-priced nonbasic columns;
+// subsequent pivots drain that list, re-pricing only its members, until it
+// is empty or candTTL() pivots old, whereupon the next sweep rebuilds it.
+// Optimality and unboundedness are certified exclusively from exact duals:
+// an empty sweep is already exact, and an unbounded pivot found under
+// drifted duals is retried after an exact recompute.
+func (s *simplex) runPhaseSparse(phase1 bool) Status {
+	tol := s.opts.Tol
+	s.cand = s.cand[:0]
+	s.candAge = 0
+	s.computeDuals(phase1)
+	for {
+		if s.iters >= s.opts.MaxIter {
+			return StatusIterLimit
+		}
+		if s.iters%ctxCheckInterval == 0 && s.canceled() {
+			return StatusCanceled
+		}
+		var enter int
+		var dir, d float64
+		fromList := false
+		if s.bland {
+			// Anti-cycling mode: exact duals and the same full
+			// first-eligible sweep as the full-pricing path, so Bland's rule
+			// keeps its termination guarantee.
+			s.computeDuals(phase1)
+			s.accumAcc()
+			s.sweeps++
+			enter, dir = s.priceEntering(phase1, tol)
+			if enter >= 0 {
+				if enter < s.n {
+					d = s.phaseCost(enter, phase1) - s.acc[enter]
+				} else {
+					d = s.phaseCost(enter, phase1) - s.y[enter-s.n]
+				}
+			}
+		} else {
+			enter = -1
+			if len(s.cand) > 0 && s.candAge < s.candTTL() {
+				enter, dir, d = s.pickCandidate(phase1, tol)
+				fromList = enter >= 0
+			}
+			if enter < 0 {
+				enter, dir, d = s.rebuildCandidates(phase1, tol)
+			}
+		}
+		if enter < 0 {
+			// The concluding sweep ran over exact duals: optimal.
+			return StatusOptimal
+		}
+		st := s.pivot(enter, dir, false, tol)
+		if st == statusPivotUnbounded {
+			if s.yExact {
+				return StatusUnbounded
+			}
+			// The column was priced against drifted duals; re-certify the
+			// improving direction from exact duals before concluding. The
+			// failed pivot mutated nothing, so retrying is safe.
+			s.computeDuals(phase1)
+			s.cand = s.cand[:0]
+			continue
+		}
+		if st != statusPivotOK {
+			return StatusIterLimit
+		}
+		s.iters++
+		if fromList {
+			s.candHits++
+		}
+		s.candAge++
+		switch {
+		case s.lastLeave < 0:
+			// Bound flip: basis and duals unchanged.
+		case s.pivotRefreshed:
+			// The pivot refactorised B⁻¹; the eta row the incremental
+			// update needs is gone, so recompute.
+			s.computeDuals(phase1)
+		default:
+			// Basis exchange: y' = y + d·(row r of the updated B⁻¹), where
+			// d = c_j − yᵀA_j is the entering column's reduced cost and r
+			// the exchanged row. All other terms of c_B'·B'⁻¹ cancel
+			// against the eta update, so this O(m) step keeps y consistent
+			// with the new basis (up to drift, contained by the exact
+			// recomputes at every sweep).
+			row := s.binv[s.lastLeave]
+			for k := 0; k < s.m; k++ {
+				s.y[k] += d * row[k]
+			}
+			s.yExact = false
+		}
+	}
+}
+
+// candCap is the candidate-list capacity: enough breadth that a drain phase
+// survives several pivots, capped so list re-pricing stays cheap.
+func (s *simplex) candCap() int {
+	k := s.nTot / 8
+	if k < 8 {
+		k = 8
+	}
+	if k > 64 {
+		k = 64
+	}
+	return k
+}
+
+// candTTL is how many pivots a harvested list may serve before it is
+// considered stale and rebuilt from a fresh full sweep.
+func (s *simplex) candTTL() int { return s.candCap() }
+
+// reducedCost returns c_j − yᵀA_j for the active phase objective against
+// the current (possibly incrementally maintained) duals.
+func (s *simplex) reducedCost(j int, phase1 bool) float64 {
+	if j < s.n {
+		c := &s.csc
+		acc := 0.0
+		for t := c.colPtr[j]; t < c.colPtr[j+1]; t++ {
+			if yi := s.y[c.rowIdx[t]]; yi != 0 { //lint:ignore rentlint/floatcmp exact-zero skip: a zero dual contributes nothing to the dot product
+				acc += yi * c.val[t]
+			}
+		}
+		return s.phaseCost(j, phase1) - acc
+	}
+	return s.phaseCost(j, phase1) - s.y[j-s.n]
+}
+
+// enteringDir classifies a nonbasic column with reduced cost d: +1 to
+// increase from lower, −1 to decrease from upper, 0 when not attractive;
+// score is the Dantzig score |d| when eligible. It mirrors the eligibility
+// cases of priceEntering exactly.
+func enteringDir(st varStatus, d, tol float64) (dir, score float64) {
+	switch st {
+	case statusAtLower:
+		if d < -tol {
+			return 1, -d
+		}
+	case statusAtUpper:
+		if d > tol {
+			return -1, d
+		}
+	case statusFree:
+		if d < -tol {
+			return 1, -d
+		}
+		if d > tol {
+			return -1, d
+		}
+	}
+	return 0, 0
+}
+
+// pickCandidate drains the candidate list: entries that went basic, became
+// fixed, or no longer price attractively are dropped in place, and the
+// best-priced survivor is returned with its reduced cost.
+func (s *simplex) pickCandidate(phase1 bool, tol float64) (int, float64, float64) {
+	bestJ, bestDir, bestD, bestScore := -1, 0.0, 0.0, tol
+	keep := s.cand[:0]
+	for _, cj := range s.cand {
+		j := int(cj)
+		//lint:ignore rentlint/floatcmp fixed columns have lo and hi assigned from the same value; the check must match that exactly
+		if s.stat[j] == statusBasic || s.lo[j] == s.hi[j] {
+			continue
+		}
+		d := s.reducedCost(j, phase1)
+		dir, score := enteringDir(s.stat[j], d, tol)
+		if dir == 0 { //lint:ignore rentlint/floatcmp dir is a ±1/0 sentinel assigned literally above, never computed
+			continue
+		}
+		keep = append(keep, cj)
+		if score > bestScore {
+			bestJ, bestDir, bestD, bestScore = j, dir, d, score
+		}
+	}
+	s.cand = keep
+	return bestJ, bestDir, bestD
+}
+
+// rebuildCandidates recomputes exact duals, runs one full Dantzig sweep
+// returning the best entering column, and harvests the candCap() highest-
+// scoring eligible columns into the candidate list for the following
+// pivots to drain.
+func (s *simplex) rebuildCandidates(phase1 bool, tol float64) (int, float64, float64) {
+	s.computeDuals(phase1)
+	s.sweeps++
+	s.candAge = 0
+	kcap := s.candCap()
+	s.cand = s.cand[:0]
+	s.candScore = s.candScore[:0]
+	weak := -1 // index of the lowest-scoring stored candidate once full
+	bestJ, bestDir, bestD, bestScore := -1, 0.0, 0.0, tol
+	for j := 0; j < s.nTot; j++ { // artificials never re-enter
+		//lint:ignore rentlint/floatcmp fixed columns have lo and hi assigned from the same value; the check must match that exactly
+		if s.stat[j] == statusBasic || s.lo[j] == s.hi[j] {
+			continue
+		}
+		d := s.reducedCost(j, phase1)
+		dir, score := enteringDir(s.stat[j], d, tol)
+		if dir == 0 { //lint:ignore rentlint/floatcmp dir is a ±1/0 sentinel assigned literally above, never computed
+			continue
+		}
+		if score > bestScore {
+			bestJ, bestDir, bestD, bestScore = j, dir, d, score
+		}
+		if len(s.cand) < kcap {
+			s.cand = append(s.cand, int32(j))
+			s.candScore = append(s.candScore, score)
+			if len(s.cand) == kcap {
+				weak = argminFloat(s.candScore)
+			}
+		} else if score > s.candScore[weak] {
+			s.cand[weak] = int32(j)
+			s.candScore[weak] = score
+			weak = argminFloat(s.candScore)
+		}
+	}
+	return bestJ, bestDir, bestD
+}
+
+// argminFloat returns the index of the smallest element.
+func argminFloat(v []float64) int {
+	w := 0
+	for t := 1; t < len(v); t++ {
+		if v[t] < v[w] {
+			w = t
+		}
+	}
+	return w
 }
 
 // priceEntering selects an entering column and movement direction
@@ -407,17 +781,10 @@ const (
 // cost mid-step — while feasible basics block as in a normal phase, so the
 // repair never trades one violation for another.
 func (s *simplex) pivot(j int, dir float64, repair bool, tol float64) pivotStatus {
-	// w = B⁻¹ A_j.
-	col := make([]float64, s.m)
-	s.colInto(j, col)
-	for i := 0; i < s.m; i++ {
-		wi := 0.0
-		row := s.binv[i]
-		for k := 0; k < s.m; k++ {
-			wi += row[k] * col[k]
-		}
-		s.w[i] = wi
-	}
+	s.lastLeave = -1
+	s.pivotRefreshed = false
+	// w = B⁻¹ A_j (sparse FTRAN).
+	s.ftranInto(j, s.w)
 	// Ratio test: x_B(t) = x_B − t·dir·w for step t ≥ 0.
 	tMax := math.Inf(1)
 	leave := -1
@@ -504,6 +871,7 @@ func (s *simplex) pivot(j int, dir float64, repair bool, tol float64) pivotStatu
 	s.stat[j] = statusBasic
 	s.basis[leave] = j
 	s.inRow[j] = leave
+	s.lastLeave = leave
 	// Product-form update of B⁻¹: pivot on w[leave].
 	piv := s.w[leave]
 	rowR := s.binv[leave]
@@ -528,6 +896,7 @@ func (s *simplex) pivot(j int, dir float64, repair bool, tol float64) pivotStatu
 	s.noteDegeneracy(t, tol)
 	if s.iters%128 == 127 {
 		s.refresh()
+		s.pivotRefreshed = true
 	}
 	return statusPivotOK
 }
@@ -554,10 +923,25 @@ func (s *simplex) refresh() {
 	s.computeBasicValues()
 }
 
-// invertBasis rebuilds B⁻¹ from the current basis columns via Gauss–Jordan
-// with partial pivoting. It reports false — leaving s.binv untouched — when
-// the basis matrix is numerically singular.
+// invertBasis rebuilds B⁻¹ from the current basis columns. The default
+// (sparse) mode first attempts the triangular-peel factorisation, which
+// handles the near-triangular bases of scenario-tree LPs in O(m² + m·nnz)
+// and falls back to the dense elimination whenever the basis does not peel
+// cleanly; Options.FullPricing keeps the historical dense Gauss–Jordan
+// unconditionally, preserving that path bit-for-bit. Either way false is
+// reported — leaving s.binv untouched — when the basis matrix is
+// numerically singular.
 func (s *simplex) invertBasis() bool {
+	if !s.opts.FullPricing && s.invertBasisPeel() {
+		return true
+	}
+	return s.invertBasisDense()
+}
+
+// invertBasisDense rebuilds B⁻¹ via dense Gauss–Jordan with partial
+// pivoting. It reports false — leaving s.binv untouched — when the basis
+// matrix is numerically singular.
+func (s *simplex) invertBasisDense() bool {
 	m := s.m
 	mat := make([][]float64, m)
 	for i := 0; i < m; i++ {
@@ -610,7 +994,7 @@ func (s *simplex) invertBasis() bool {
 // (their only finite bound), so only structural columns contribute.
 func (s *simplex) computeBasicValues() {
 	m := s.m
-	r := make([]float64, m)
+	r := s.rhs
 	copy(r, s.p.B)
 	for j := 0; j < s.n; j++ {
 		if s.stat[j] == statusBasic {
@@ -620,8 +1004,9 @@ func (s *simplex) computeBasicValues() {
 		if v == 0 { //lint:ignore rentlint/floatcmp exact-zero skip: zero nonbasic values contribute nothing to the residual
 			continue
 		}
-		for i := 0; i < m; i++ {
-			r[i] -= s.p.A[i][j] * v
+		c := &s.csc
+		for t := c.colPtr[j]; t < c.colPtr[j+1]; t++ {
+			r[c.rowIdx[t]] -= c.val[t] * v
 		}
 	}
 	for i := 0; i < m; i++ {
@@ -641,7 +1026,13 @@ func (s *simplex) computeBasicValues() {
 // a partially-pivoted iterate that downstream pruning could mistake for a
 // valid bound.
 func (s *simplex) result(st Status, feasiblePoint bool) *Solution {
-	sol := &Solution{Status: st, Iterations: s.iters}
+	sol := &Solution{
+		Status:        st,
+		Iterations:    s.iters,
+		PricingSweeps: s.sweeps,
+		CandidateHits: s.candHits,
+		NNZ:           s.csc.nnz(),
+	}
 	if st == StatusOptimal || ((st == StatusIterLimit || st == StatusCanceled) && feasiblePoint) {
 		sol.X = make([]float64, s.n)
 		obj := 0.0

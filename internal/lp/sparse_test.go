@@ -1,0 +1,438 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// sparseTwin returns an SA-backed copy of a dense-backed problem with the
+// same rows, bounds, and objective.
+func sparseTwin(p *Problem) *Problem {
+	q := p.Clone()
+	q.SA = make([]SparseRow, 0, len(q.A))
+	rows := q.A
+	q.A = nil
+	for _, row := range rows {
+		ix := make([]int, 0, len(row))
+		v := make([]float64, 0, len(row))
+		for j, a := range row {
+			if a == 0 {
+				continue
+			}
+			ix = append(ix, j)
+			v = append(v, a)
+		}
+		q.SA = append(q.SA, SparseRow{Ix: ix, V: v})
+	}
+	return q
+}
+
+// randomMixedLP builds a random LP with structural sparsity and a mix of row
+// relations and bound shapes, so the fuzz hits optimal, infeasible, and
+// unbounded outcomes.
+func randomMixedLP(rng *rand.Rand, n, m int) *Problem {
+	p := &Problem{
+		C:     make([]float64, n),
+		Lower: make([]float64, n),
+		Upper: make([]float64, n),
+	}
+	for j := 0; j < n; j++ {
+		p.C[j] = rng.Float64()*2 - 1
+		switch {
+		case rng.Float64() < 0.05:
+			p.Lower[j] = math.Inf(-1)
+			p.Upper[j] = math.Inf(1)
+		case rng.Float64() < 0.15:
+			p.Lower[j] = -1
+			p.Upper[j] = 5
+		case rng.Float64() < 0.15:
+			p.Upper[j] = math.Inf(1)
+		default:
+			p.Upper[j] = 1 + 4*rng.Float64()
+		}
+	}
+	for i := 0; i < m; i++ {
+		row := make([]float64, n)
+		nzCount := 0
+		for j := 0; j < n; j++ {
+			if rng.Float64() < 0.4 {
+				row[j] = rng.Float64()*4 - 2
+				nzCount++
+			}
+		}
+		if nzCount == 0 {
+			row[rng.Intn(n)] = 1
+		}
+		rel := LE
+		switch r := rng.Float64(); {
+		case r < 0.25:
+			rel = GE
+		case r < 0.40:
+			rel = EQ
+		}
+		p.A = append(p.A, row)
+		p.Rel = append(p.Rel, rel)
+		p.B = append(p.B, rng.Float64()*3-1)
+	}
+	return p
+}
+
+// certifyFarkas checks that y is a valid infeasibility certificate for p:
+// with the rows written as Ax + s = b (s ≥ 0 for LE, s ≤ 0 for GE, s = 0 for
+// EQ), yᵀb must strictly exceed the supremum of yᵀ(Ax + s) over the variable
+// bounds and slack sign domains — which requires the slack terms' sup to be
+// finite (sign conditions on y) and the bound terms' sup finite too.
+func certifyFarkas(t *testing.T, p *Problem, y []float64) {
+	t.Helper()
+	n := p.NumVars()
+	if len(y) != p.NumRows() {
+		t.Fatalf("ray length %d for %d rows", len(y), p.NumRows())
+	}
+	v := make([]float64, n)
+	for i := 0; i < p.NumRows(); i++ {
+		if p.sparseBacked() {
+			r := &p.SA[i]
+			for k, j := range r.Ix {
+				v[j] += y[i] * r.V[k]
+			}
+		} else {
+			for j, a := range p.A[i] {
+				v[j] += y[i] * a
+			}
+		}
+	}
+	const tol = 1e-9
+	sup := 0.0
+	for j := 0; j < n; j++ {
+		lo, hi := p.boundsAt(j)
+		switch {
+		case v[j] > tol:
+			if math.IsInf(hi, 1) {
+				t.Fatalf("ray not certified: v[%d]=%g with infinite upper bound", j, v[j])
+			}
+			sup += v[j] * hi
+		case v[j] < -tol:
+			if math.IsInf(lo, -1) {
+				t.Fatalf("ray not certified: v[%d]=%g with infinite lower bound", j, v[j])
+			}
+			sup += v[j] * lo
+		}
+	}
+	for i := 0; i < p.NumRows(); i++ {
+		switch p.Rel[i] {
+		case LE:
+			if y[i] > tol {
+				t.Fatalf("ray not certified: y[%d]=%g > 0 on a LE row (slack sup infinite)", i, y[i])
+			}
+		case GE:
+			if y[i] < -tol {
+				t.Fatalf("ray not certified: y[%d]=%g < 0 on a GE row (slack sup infinite)", i, y[i])
+			}
+		}
+	}
+	lhs := 0.0
+	for i, b := range p.B {
+		lhs += y[i] * b
+	}
+	if lhs <= sup+1e-9 {
+		t.Fatalf("ray fails to separate: yᵀb=%g vs achievable sup %g", lhs, sup)
+	}
+}
+
+// TestSparseDenseAgreementFuzz solves 120 random LPs through the four
+// (representation × pricing) configurations and demands identical outcomes.
+// The same representation under the same pricing mode must agree exactly —
+// the CSC compile of a dense matrix and its sparse twin are identical, so
+// the solver runs pivot-for-pivot the same — while candidate-list pricing
+// versus full pricing may pivot differently and only the optimum must match.
+func TestSparseDenseAgreementFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	statusCount := map[Status]int{}
+	for trial := 0; trial < 120; trial++ {
+		n := 2 + rng.Intn(19)
+		m := 1 + rng.Intn(14)
+		dense := randomMixedLP(rng, n, m)
+		sparse := sparseTwin(dense)
+
+		type cfg struct {
+			name string
+			p    *Problem
+			opt  Options
+		}
+		cfgs := []cfg{
+			{"dense/cand", dense, Options{}},
+			{"sparse/cand", sparse, Options{}},
+			{"dense/full", dense, Options{FullPricing: true}},
+			{"sparse/full", sparse, Options{FullPricing: true}},
+		}
+		sols := make([]*Solution, len(cfgs))
+		for k, c := range cfgs {
+			sol, err := SolveWithOptions(c.p, c.opt)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, c.name, err)
+			}
+			sols[k] = sol
+		}
+		statusCount[sols[0].Status]++
+		// Exact agreement within a pricing mode across representations.
+		for _, pair := range [][2]int{{0, 1}, {2, 3}} {
+			a, b := sols[pair[0]], sols[pair[1]]
+			if a.Status != b.Status || a.Iterations != b.Iterations || a.Obj != b.Obj {
+				t.Fatalf("trial %d: %s=(%v, %v, %d it) disagrees with %s=(%v, %v, %d it)",
+					trial, cfgs[pair[0]].name, a.Status, a.Obj, a.Iterations,
+					cfgs[pair[1]].name, b.Status, b.Obj, b.Iterations)
+			}
+			for j := range a.X {
+				if a.X[j] != b.X[j] {
+					t.Fatalf("trial %d: X[%d] differs across representations: %v vs %v",
+						trial, j, a.X[j], b.X[j])
+				}
+			}
+		}
+		// Tolerance agreement across pricing modes.
+		a, b := sols[0], sols[2]
+		if a.Status != b.Status {
+			t.Fatalf("trial %d: candidate pricing %v vs full pricing %v", trial, a.Status, b.Status)
+		}
+		if a.Status == StatusOptimal {
+			if diff := math.Abs(a.Obj - b.Obj); diff > 1e-7*(1+math.Abs(b.Obj)) {
+				t.Fatalf("trial %d: objective %v (candidate) vs %v (full)", trial, a.Obj, b.Obj)
+			}
+		}
+		if a.Status == StatusInfeasible {
+			for k, sol := range sols {
+				if sol.FarkasRay == nil {
+					t.Fatalf("trial %d %s: infeasible without a Farkas ray", trial, cfgs[k].name)
+				}
+				certifyFarkas(t, cfgs[k].p, sol.FarkasRay)
+			}
+		}
+	}
+	// The generator must actually exercise more than one outcome class.
+	if len(statusCount) < 2 {
+		t.Fatalf("fuzz generator degenerate: statuses %v", statusCount)
+	}
+}
+
+func TestValidateRejectsRaggedDenseRow(t *testing.T) {
+	p := &Problem{
+		C:   []float64{1, 1},
+		A:   [][]float64{{1, 1}, {1}}, // second row ragged
+		Rel: []Rel{LE, LE},
+		B:   []float64{1, 1},
+	}
+	if err := p.Validate(); err == nil {
+		t.Fatal("want ragged-row error")
+	}
+	if _, err := Solve(p); err == nil {
+		t.Fatal("Solve must surface the ragged-row error")
+	}
+}
+
+func TestValidateSparseErrors(t *testing.T) {
+	base := func() *Problem {
+		return &Problem{
+			C:   []float64{1, 1, 1},
+			SA:  []SparseRow{{Ix: []int{0, 2}, V: []float64{1, -1}}},
+			Rel: []Rel{LE},
+			B:   []float64{1},
+		}
+	}
+	ok := base()
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("well-formed sparse problem rejected: %v", err)
+	}
+
+	both := base()
+	both.A = [][]float64{{1, 0, -1}}
+	if err := both.Validate(); err == nil {
+		t.Fatal("want mutual-exclusion error when A and SA are both set")
+	}
+
+	ragged := base()
+	ragged.SA[0].V = ragged.SA[0].V[:1]
+	if err := ragged.Validate(); err == nil {
+		t.Fatal("want Ix/V length mismatch error")
+	}
+
+	unsorted := base()
+	unsorted.SA[0] = SparseRow{Ix: []int{2, 0}, V: []float64{1, 1}}
+	if err := unsorted.Validate(); err == nil {
+		t.Fatal("want non-increasing index error")
+	}
+
+	dup := base()
+	dup.SA[0] = SparseRow{Ix: []int{1, 1}, V: []float64{1, 1}}
+	if err := dup.Validate(); err == nil {
+		t.Fatal("want duplicate-index error")
+	}
+
+	oob := base()
+	oob.SA[0] = SparseRow{Ix: []int{0, 3}, V: []float64{1, 1}}
+	if err := oob.Validate(); err == nil {
+		t.Fatal("want out-of-range index error")
+	}
+
+	nan := base()
+	nan.SA[0] = SparseRow{Ix: []int{0}, V: []float64{math.NaN()}}
+	if err := nan.Validate(); err == nil {
+		t.Fatal("want NaN coefficient error")
+	}
+
+	mismatch := base()
+	mismatch.B = append(mismatch.B, 2)
+	mismatch.Rel = append(mismatch.Rel, LE)
+	if err := mismatch.Validate(); err == nil {
+		t.Fatal("want row-count mismatch error")
+	}
+}
+
+func TestNewSparseRowNormalises(t *testing.T) {
+	r := NewSparseRow([]int{3, 1, 3, 2, 0}, []float64{1, 2, -1, 0, 4})
+	// Column 3 cancels to zero and column 2 is an explicit zero; both drop.
+	wantIx := []int{0, 1}
+	wantV := []float64{4, 2}
+	if len(r.Ix) != len(wantIx) {
+		t.Fatalf("got %v/%v", r.Ix, r.V)
+	}
+	for k := range wantIx {
+		if r.Ix[k] != wantIx[k] || r.V[k] != wantV[k] {
+			t.Fatalf("entry %d: got (%d,%v) want (%d,%v)", k, r.Ix[k], r.V[k], wantIx[k], wantV[k])
+		}
+	}
+}
+
+func TestRowHelpersAgreeAcrossRepresentations(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	dense := randomMixedLP(rng, 12, 8)
+	sparse := sparseTwin(dense)
+	if dense.NNZ() != sparse.NNZ() {
+		t.Fatalf("NNZ %d vs %d", dense.NNZ(), sparse.NNZ())
+	}
+	x := make([]float64, 12)
+	for j := range x {
+		x[j] = rng.Float64()*2 - 1
+	}
+	for i := 0; i < dense.NumRows(); i++ {
+		if d, s := dense.RowDot(i, x), sparse.RowDot(i, x); math.Abs(d-s) > 1e-12 {
+			t.Fatalf("RowDot(%d): %v vs %v", i, d, s)
+		}
+		if d, s := dense.RowAbsSum(i), sparse.RowAbsSum(i); math.Abs(d-s) > 1e-12 {
+			t.Fatalf("RowAbsSum(%d): %v vs %v", i, d, s)
+		}
+	}
+}
+
+func TestAddRowAndAddSparseRowEquivalent(t *testing.T) {
+	mk := func(sparseBacked bool) *Problem {
+		p := &Problem{
+			C:     []float64{1, 2, 3},
+			Lower: make([]float64, 3),
+			Upper: []float64{4, 4, 4},
+		}
+		if sparseBacked {
+			p.SA = []SparseRow{}
+		}
+		p.AddRow([]float64{1, 0, -1}, LE, 2)
+		p.AddSparseRow([]int{2, 0, 0}, []float64{1, 1, 1}, GE, 1)
+		return p
+	}
+	d, s := mk(false), mk(true)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRows() != 2 || s.NumRows() != 2 || d.NNZ() != s.NNZ() {
+		t.Fatalf("row/nnz mismatch: %d/%d rows, %d/%d nnz", d.NumRows(), s.NumRows(), d.NNZ(), s.NNZ())
+	}
+	// AddSparseRow on the sparse problem must have summed the duplicate 0s.
+	if got := s.SA[1]; len(got.Ix) != 2 || got.Ix[0] != 0 || got.V[0] != 2 {
+		t.Fatalf("duplicate columns not summed: %+v", got)
+	}
+	sd, err := Solve(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := Solve(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd.Status != ss.Status || sd.Obj != ss.Obj {
+		t.Fatalf("(%v, %v) vs (%v, %v)", sd.Status, sd.Obj, ss.Status, ss.Obj)
+	}
+}
+
+// TestSolutionCounters checks the pricing instrumentation: full pricing
+// sweeps every pivot and never uses the candidate list, while candidate-list
+// pricing resolves most pivots from the list and sweeps far less often.
+func TestSolutionCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	p := randomLP(rng, 60, 30)
+	full, err := SolveWithOptions(p, Options{FullPricing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand, err := SolveWithOptions(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Status != StatusOptimal || cand.Status != StatusOptimal {
+		t.Fatalf("statuses %v / %v", full.Status, cand.Status)
+	}
+	if full.NNZ == 0 || full.NNZ != cand.NNZ {
+		t.Fatalf("NNZ %d vs %d", full.NNZ, cand.NNZ)
+	}
+	if full.CandidateHits != 0 {
+		t.Fatalf("full pricing reported %d candidate hits", full.CandidateHits)
+	}
+	if full.PricingSweeps < full.Iterations {
+		t.Fatalf("full pricing: %d sweeps for %d pivots", full.PricingSweeps, full.Iterations)
+	}
+	if cand.CandidateHits == 0 {
+		t.Fatal("candidate pricing never drew from the list on a 60-var LP")
+	}
+	if cand.PricingSweeps >= full.PricingSweeps {
+		t.Fatalf("candidate pricing swept %d times, full pricing %d", cand.PricingSweeps, full.PricingSweeps)
+	}
+}
+
+func TestFarkasRaySparseBacked(t *testing.T) {
+	// x ≥ 5 and x ≤ 3 with x ∈ [0, 10]: infeasible, as in the dense test.
+	p := &Problem{
+		C:     []float64{0},
+		SA:    []SparseRow{{Ix: []int{0}, V: []float64{1}}, {Ix: []int{0}, V: []float64{1}}},
+		Rel:   []Rel{GE, LE},
+		B:     []float64{5, 3},
+		Upper: []float64{10},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusInfeasible || sol.FarkasRay == nil {
+		t.Fatalf("want infeasible with ray, got %+v", sol)
+	}
+	certifyFarkas(t, p, sol.FarkasRay)
+}
+
+// BenchmarkSolveAllocs measures steady-state allocations per solve: the
+// pooled solver should reuse its scratch (basis inverse rows, pricing
+// vectors, CSC buffers) so per-solve allocations stay small and constant in
+// the problem size after warmup.
+func BenchmarkSolveAllocs(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	p := randomLP(rng, 80, 40)
+	if sol, err := Solve(p); err != nil || sol.Status != StatusOptimal {
+		b.Fatalf("%v %v", sol, err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

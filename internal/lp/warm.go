@@ -69,9 +69,11 @@ func SolveFromCtx(ctx context.Context, p *Problem, basis *Basis, opts Options) (
 	s.ctx = ctx
 	switch s.installBasis(basis) {
 	case warmInstallFailed:
+		s.release()
 		return coldFallback(ctx, p, opts, 0)
 	case warmInstallOK:
 		sol, err := s.solvePhase2()
+		s.release()
 		if err == nil {
 			sol.WarmStart = WarmHit
 		}
@@ -80,6 +82,7 @@ func SolveFromCtx(ctx context.Context, p *Problem, basis *Basis, opts Options) (
 	switch s.runRepair() {
 	case repairDone:
 		sol, err := s.solvePhase2()
+		s.release()
 		if err == nil {
 			sol.WarmStart = WarmMiss
 		}
@@ -90,18 +93,22 @@ func SolveFromCtx(ctx context.Context, p *Problem, basis *Basis, opts Options) (
 		// whose limit fires mid-phase-1.
 		sol := s.result(StatusIterLimit, false)
 		sol.WarmStart = WarmMiss
+		s.release()
 		return sol, nil
 	case repairCanceled:
 		// The context died mid-repair: like repairIterLimit, the iterate is
 		// not primal feasible, so no X/Obj leak out.
 		sol := s.result(StatusCanceled, false)
 		sol.WarmStart = WarmMiss
+		s.release()
 		return sol, nil
 	default: // repairStalled
 		// Never conclude anything from a stalled repair — the restricted
 		// subproblem can be at a spurious optimum. Let the exact cold
 		// phase 1 decide feasibility.
-		return coldFallback(ctx, p, opts, s.iters)
+		spent := s.iters
+		s.release()
+		return coldFallback(ctx, p, opts, spent)
 	}
 }
 
@@ -111,6 +118,7 @@ func coldFallback(ctx context.Context, p *Problem, opts Options, spent int) (*So
 	s := newSimplex(p, opts)
 	s.ctx = ctx
 	sol, err := s.solve()
+	s.release()
 	if err != nil {
 		return nil, err
 	}
@@ -293,20 +301,9 @@ func (s *simplex) runRepair() repairOutcome {
 		if s.iters >= budget {
 			return repairStalled
 		}
-		// acc = yᵀA over structural columns (row sweep for locality).
-		for j := 0; j < s.n; j++ {
-			s.acc[j] = 0
-		}
-		for i := 0; i < s.m; i++ {
-			yi := s.y[i]
-			if yi == 0 { //lint:ignore rentlint/floatcmp exact-zero skip: a zero dual multiplies every entry of the row to zero
-				continue
-			}
-			row := s.p.A[i]
-			for j := 0; j < s.n; j++ {
-				s.acc[j] += yi * row[j]
-			}
-		}
+		// acc = yᵀA over structural columns.
+		s.accumAcc()
+		s.sweeps++
 		enter, dir := s.priceRepair(tol)
 		if enter < 0 {
 			return repairStalled

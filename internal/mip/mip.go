@@ -297,6 +297,11 @@ type bnb struct {
 	coldNodes     atomic.Int64
 	coldIters     atomic.Int64
 
+	// sparse-pricing accounting aggregated from the node LP solutions.
+	pricingSweeps atomic.Int64
+	candHits      atomic.Int64
+	nnz           int // structural nonzeros, constant per solve
+
 	psUp, psDown   []atomicFloat64
 	psUpN, psDownN []atomic.Int64
 
@@ -355,13 +360,10 @@ func newBnB(ctx context.Context, p *Problem, opts Options) *bnb {
 		copy(b.baseUpper, p.LP.Upper)
 	}
 	b.rowAbs = make([]float64, p.LP.NumRows())
-	for i, row := range p.LP.A {
-		s := 0.0
-		for _, a := range row {
-			s += math.Abs(a)
-		}
-		b.rowAbs[i] = s
+	for i := range b.rowAbs {
+		b.rowAbs[i] = p.LP.RowAbsSum(i)
 	}
+	b.nnz = p.LP.NNZ()
 	b.workerNodes = make([]int, opts.Workers)
 	b.inflight = make([]float64, opts.Workers)
 	for i := range b.inflight {
@@ -674,6 +676,8 @@ func (b *bnb) processNode(id int, work *lp.Problem, nd *node) {
 			return
 		}
 		b.iters.Add(int64(sol.Iterations))
+		b.pricingSweeps.Add(int64(sol.PricingSweeps))
+		b.candHits.Add(int64(sol.CandidateHits))
 		switch sol.WarmStart {
 		case lp.WarmHit:
 			b.warmHits.Add(1)
@@ -901,11 +905,8 @@ func (b *bnb) feasible(x []float64, scaled bool) bool {
 			return false
 		}
 	}
-	for i, row := range b.p.LP.A {
-		v := 0.0
-		for j := range row {
-			v += row[j] * x[j]
-		}
+	for i := 0; i < b.p.LP.NumRows(); i++ {
+		v := b.p.LP.RowDot(i, x)
 		rtol := num.FeasTol
 		if scaled {
 			rtol += b.opts.IntTol * b.rowAbs[i]
@@ -965,6 +966,9 @@ func (b *bnb) snapshotLocked() Stats {
 		WarmIters:     b.warmIters.Load(),
 		ColdNodes:     b.coldNodes.Load(),
 		ColdIters:     b.coldIters.Load(),
+		PricingSweeps: b.pricingSweeps.Load(),
+		CandidateHits: b.candHits.Load(),
+		NNZ:           b.nnz,
 	}
 	if s := el.Seconds(); s > 0 {
 		st.NodesPerSec = float64(b.nodes) / s

@@ -1,0 +1,99 @@
+package mip
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rentplan/internal/lp"
+)
+
+// TestSparsePricingAgreement runs the MILP corpus through every combination
+// of workers={1,4}, warm/cold node dispatch, and candidate-list versus full
+// pricing, and requires the identical proven optimum from each. Candidate
+// pricing may pivot differently, so only status and objective must agree —
+// and the counters must reflect the configured pricing mode.
+func TestSparsePricingAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(271))
+	corpus := []*Problem{
+		knapsackInstance(rng, 14),
+		knapsackInstance(rng, 18),
+		lotSizingInstance(rng, 5),
+		lotSizingInstance(rng, 7),
+	}
+	for pi, p := range corpus {
+		ref, err := SolveWithOptions(p, Options{Workers: 1, LP: lp.Options{FullPricing: true}})
+		if err != nil {
+			t.Fatalf("instance %d reference: %v", pi, err)
+		}
+		if ref.Status != StatusOptimal {
+			t.Fatalf("instance %d reference status %v", pi, ref.Status)
+		}
+		if ref.Stats.CandidateHits != 0 {
+			t.Fatalf("instance %d: full pricing recorded %d candidate hits", pi, ref.Stats.CandidateHits)
+		}
+		if ref.Stats.NNZ == 0 {
+			t.Fatalf("instance %d: NNZ not recorded", pi)
+		}
+		for _, workers := range []int{1, 4} {
+			for _, cold := range []bool{false, true} {
+				for _, full := range []bool{false, true} {
+					sol, err := SolveWithOptions(p, Options{
+						Workers:     workers,
+						NoWarmStart: cold,
+						LP:          lp.Options{FullPricing: full},
+					})
+					if err != nil {
+						t.Fatalf("instance %d workers=%d cold=%v full=%v: %v", pi, workers, cold, full, err)
+					}
+					if sol.Status != StatusOptimal {
+						t.Fatalf("instance %d workers=%d cold=%v full=%v: status %v",
+							pi, workers, cold, full, sol.Status)
+					}
+					if math.Abs(sol.Obj-ref.Obj) > 1e-6 {
+						t.Fatalf("instance %d workers=%d cold=%v full=%v: obj %.9f, reference %.9f",
+							pi, workers, cold, full, sol.Obj, ref.Obj)
+					}
+					if full && sol.Stats.CandidateHits != 0 {
+						t.Fatalf("instance %d workers=%d cold=%v: full pricing recorded %d candidate hits",
+							pi, workers, cold, sol.Stats.CandidateHits)
+					}
+					if sol.Stats.NNZ != ref.Stats.NNZ {
+						t.Fatalf("instance %d: NNZ %d vs %d", pi, sol.Stats.NNZ, ref.Stats.NNZ)
+					}
+					if sol.Stats.PricingSweeps == 0 && sol.Stats.SimplexIters > 0 {
+						t.Fatalf("instance %d workers=%d cold=%v full=%v: no pricing sweeps for %d pivots",
+							pi, workers, cold, full, sol.Stats.SimplexIters)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCandidatePricingReducesSweeps pins the payoff: on a branching-heavy
+// instance the candidate list must resolve most pivots without a full sweep.
+func TestCandidatePricingReducesSweeps(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	p := lotSizingInstance(rng, 8)
+	cand, err := SolveWithOptions(p, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := SolveWithOptions(p, Options{Workers: 1, LP: lp.Options{FullPricing: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cand.Status != StatusOptimal || full.Status != StatusOptimal {
+		t.Fatalf("status cand=%v full=%v", cand.Status, full.Status)
+	}
+	if math.Abs(cand.Obj-full.Obj) > 1e-6 {
+		t.Fatalf("objective mismatch: cand %.9f full %.9f", cand.Obj, full.Obj)
+	}
+	if cand.Stats.CandidateHits == 0 {
+		t.Fatalf("candidate list never used: %+v", cand.Stats)
+	}
+	t.Logf("sweeps: cand %d (hits %d) vs full %d over %d/%d pivots",
+		cand.Stats.PricingSweeps, cand.Stats.CandidateHits, full.Stats.PricingSweeps,
+		cand.Stats.SimplexIters, full.Stats.SimplexIters)
+}

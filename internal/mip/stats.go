@@ -68,6 +68,18 @@ type Stats struct {
 	WarmIters     int64
 	ColdNodes     int64
 	ColdIters     int64
+
+	// Sparse-pricing accounting over node relaxations. PricingSweeps is the
+	// total number of full pricing sweeps (every column priced) across all
+	// node LPs, and CandidateHits the pivots whose entering column came from
+	// the candidate list without a sweep — under lp.Options.FullPricing the
+	// sweep count equals the pivot count and CandidateHits stays zero, so
+	// the pair exposes the partial-pricing saving directly. NNZ is the
+	// structural nonzero count of the constraint matrix, constant across
+	// the solve.
+	PricingSweeps int64
+	CandidateHits int64
+	NNZ           int
 }
 
 // relGap returns |obj−bound| / max(1,|obj|), or +Inf when either side is
