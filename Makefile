@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race check bench bench-sparse
+.PHONY: build test vet lint race check bench bench-sparse bench-dual
 
 build:
 	$(GO) build ./...
@@ -30,3 +30,10 @@ bench:
 # pricing path, plus model-build allocations); baselines in BENCH_sparse.json.
 bench-sparse:
 	$(GO) test -run '^$$' -bench 'BenchmarkSparseVsDenseSRRP|BenchmarkSRRPModelBuild' -benchtime 1x .
+
+# Smoke-run the dual-simplex warm re-solve benchmark (branching children of
+# the BENCH_sparse instance, dual vs primal-repair vs cold); baselines in
+# BENCH_dual.json. The benchmark itself enforces the >= 2x iteration
+# reduction acceptance threshold.
+bench-dual:
+	$(GO) test -run '^$$' -bench 'BenchmarkDualVsColdSRRP' -benchtime 1x .

@@ -837,3 +837,95 @@ func BenchmarkAblationCapacitatedDPvsMILP(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkDualVsColdSRRP is the headline for the dual-simplex warm path:
+// branching-style re-solves of the 5-stage/branch-3 SRRP LP relaxation (the
+// BENCH_sparse.json instance, m=1092) from the root basis. Children are
+// built the way branch-and-bound builds them — one fractional variable's
+// bound rounded through the root optimum — and each child is solved three
+// ways: dual simplex from the parent basis (the new default), the primal
+// bound-repair warm path (NoDual), and the cold two-phase baseline that
+// BENCH_sparse.json measured. All three must reach the identical objective
+// on every child; the acceptance metric recorded in BENCH_dual.json is the
+// per-child simplex-iteration ratio cold/dual.
+func BenchmarkDualVsColdSRRP(b *testing.B) {
+	par, tree, dem := srrpInstance(b, 5, 3)
+	prob, _, err := core.BuildSRRPMILP(par, tree, dem)
+	if err != nil {
+		b.Fatal(err)
+	}
+	root, err := lp.Solve(prob.LP)
+	if err != nil || root.Status != lp.StatusOptimal {
+		b.Fatalf("root solve: %v %v", root, err)
+	}
+	// Branching children: round each fractional integer-variable value down
+	// (upper bound) or up (lower bound), exactly as the B&B node expansion
+	// does.
+	type child struct {
+		p   *lp.Problem
+		obj float64
+	}
+	var children []child
+	for j, isInt := range prob.Integer {
+		if !isInt {
+			continue
+		}
+		v := root.X[j]
+		f := v - math.Floor(v)
+		if f < 1e-6 || f > 1-1e-6 {
+			continue
+		}
+		down := prob.LP.Clone()
+		down.Upper[j] = math.Floor(v)
+		up := prob.LP.Clone()
+		up.Lower[j] = math.Ceil(v)
+		children = append(children, child{p: down}, child{p: up})
+		if len(children) >= 24 {
+			break
+		}
+	}
+	if len(children) < 8 {
+		b.Fatalf("only %d branching children — instance no longer fractional?", len(children))
+	}
+	run := func(name string, solve func(*lp.Problem) (*lp.Solution, error)) (iters int64) {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				iters = 0
+				for k := range children {
+					sol, err := solve(children[k].p)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if sol.Status != lp.StatusOptimal && sol.Status != lp.StatusInfeasible {
+						b.Fatalf("child %d: status %v", k, sol.Status)
+					}
+					iters += int64(sol.Iterations)
+					if sol.Status == lp.StatusOptimal {
+						if children[k].obj == 0 {
+							children[k].obj = sol.Obj
+						} else if math.Abs(sol.Obj-children[k].obj) > 1e-7*(1+math.Abs(children[k].obj)) {
+							b.Fatalf("child %d: objective diverged: %.12g vs %.12g", k, sol.Obj, children[k].obj)
+						}
+					}
+				}
+			}
+			b.ReportMetric(float64(iters)/float64(len(children)), "simplex_iters_per_child")
+		})
+		return iters
+	}
+	dualIters := run("dual-warm", func(p *lp.Problem) (*lp.Solution, error) {
+		return lp.SolveFrom(p, root.Basis, lp.Options{})
+	})
+	primalIters := run("primal-warm", func(p *lp.Problem) (*lp.Solution, error) {
+		return lp.SolveFrom(p, root.Basis, lp.Options{NoDual: true})
+	})
+	coldIters := run("cold", lp.Solve)
+	if dualIters > 0 && coldIters > 0 {
+		ratio := float64(coldIters) / float64(dualIters)
+		b.Logf("iteration reduction: cold %d / dual %d = %.1fx (primal-warm %d)",
+			coldIters, dualIters, ratio, primalIters)
+		if ratio < 2 {
+			b.Fatalf("dual warm re-solve saves only %.2fx iterations, acceptance needs >= 2x", ratio)
+		}
+	}
+}

@@ -265,23 +265,25 @@ func main() {
 }
 
 // printProgress streams one MILP solver snapshot per callback to stderr,
-// including the warm-start dispatch counts (hit/miss/fallback), the mean
-// simplex iterations per warm-started versus cold-started node, and the
+// including the warm-start dispatch counts (hit/miss/dual/fallback), the
+// mean simplex iterations per warm-started versus cold-started node, the
 // sparse-pricing counters (full pricing sweeps, candidate-list hits, and the
-// constraint-matrix nonzero count).
+// constraint-matrix nonzero count), and the dual-simplex/eta-file counters
+// (dual pivots, eta updates, basis refactorisations).
 func printProgress(st mip.Stats) {
 	inc := "-"
 	if st.HasIncumbent {
 		inc = fmt.Sprintf("%.6g", st.Incumbent)
 	}
-	warmNodes := st.WarmHits + st.WarmMisses + st.WarmFallbacks
+	warmNodes := st.WarmHits + st.WarmMisses + st.WarmDuals + st.WarmFallbacks
 	fmt.Fprintf(os.Stderr,
-		"rentplan: mip %7.3fs %8d nodes (%6.0f/s) open %-6d iters %-8d inc %-12s bound %-12.6g gap %-9.3g warm %d/%d/%d it/node %s warm, %s cold sweeps %-8d cand %-8d nnz %d\n",
+		"rentplan: mip %7.3fs %8d nodes (%6.0f/s) open %-6d iters %-8d inc %-12s bound %-12.6g gap %-9.3g warm %d/%d/%d/%d it/node %s warm, %s cold sweeps %-8d cand %-8d nnz %d dual %-8d etas %-8d refac %d\n",
 		st.Elapsed.Seconds(), st.Nodes, st.NodesPerSec, st.OpenNodes,
 		st.SimplexIters, inc, st.Bound, st.Gap,
-		st.WarmHits, st.WarmMisses, st.WarmFallbacks,
+		st.WarmHits, st.WarmMisses, st.WarmDuals, st.WarmFallbacks,
 		perNode(st.WarmIters, warmNodes), perNode(st.ColdIters, st.ColdNodes),
-		st.PricingSweeps, st.CandidateHits, st.NNZ)
+		st.PricingSweeps, st.CandidateHits, st.NNZ,
+		st.DualIters, st.EtaCount, st.Refactorizations)
 }
 
 // perNode formats a mean iteration count per node, or "-" when no node of

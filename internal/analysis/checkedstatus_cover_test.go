@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// TestSolveEntryPointsCoverTheSolvers guards the analyzer's entry-point
+// registry against drift: every exported top-level Solve* function in the
+// real internal/lp and internal/mip packages must be listed in
+// SolveEntryPoints, and every registered name must still exist in at least
+// one of them. A new public solve entry point that is not registered would
+// silently escape the checkedstatus lint.
+func TestSolveEntryPointsCoverTheSolvers(t *testing.T) {
+	found := make(map[string]bool)
+	for _, dir := range []string{filepath.Join("..", "lp"), filepath.Join("..", "mip")} {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, 0)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", dir, err)
+		}
+		for _, pkg := range pkgs {
+			for _, f := range pkg.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Recv != nil {
+						continue
+					}
+					name := fd.Name.Name
+					if !strings.HasPrefix(name, "Solve") || !unicode.IsUpper(rune(name[0])) {
+						continue
+					}
+					found[name] = true
+					if !SolveEntryPoints[name] {
+						t.Errorf("%s.%s is a public solve entry point but is not registered in SolveEntryPoints — checkedstatus will not lint its call sites", pkg.Name, name)
+					}
+				}
+			}
+		}
+	}
+	if len(found) == 0 {
+		t.Fatal("no Solve* entry points found — the solver source directories moved?")
+	}
+	for name := range SolveEntryPoints {
+		if !found[name] {
+			t.Errorf("SolveEntryPoints lists %q but no such exported function exists in internal/lp or internal/mip", name)
+		}
+	}
+}

@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -228,6 +230,9 @@ func (l *loader) parseDir(dir string) (lib, test, xtest []*ast.File, err error) 
 		if perr != nil {
 			return nil, nil, nil, perr
 		}
+		if !buildOK(f) {
+			continue
+		}
 		switch {
 		case strings.HasSuffix(n, "_test.go") && strings.HasSuffix(f.Name.Name, "_test"):
 			xtest = append(xtest, f)
@@ -238,6 +243,43 @@ func (l *loader) parseDir(dir string) (lib, test, xtest []*ast.File, err error) 
 		}
 	}
 	return lib, test, xtest, nil
+}
+
+// buildOK reports whether a file's //go:build constraint (if any) is
+// satisfied in the default build context — GOOS, GOARCH, gc, unix — with
+// no custom tags, mirroring what `go build` compiles without -tags. Tagged
+// twin files (e.g. `//go:build race` beside its `!race` counterpart) would
+// otherwise both enter the compilation unit and redeclare their symbols.
+func buildOK(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				// An unparseable constraint is the go tool's problem to
+				// report; analyze the file as unconditional.
+				return true
+			}
+			return expr.Eval(func(tag string) bool {
+				switch tag {
+				case runtime.GOOS, runtime.GOARCH, "gc":
+					return true
+				case "unix":
+					switch runtime.GOOS {
+					case "linux", "darwin", "freebsd", "netbsd", "openbsd", "dragonfly", "solaris", "aix":
+						return true
+					}
+				}
+				return false
+			})
+		}
+	}
+	return true
 }
 
 // unitsFor builds the compilation units to analyze for one directory: the

@@ -1,0 +1,34 @@
+package app
+
+import (
+	"example.com/lintmod/internal/lp"
+)
+
+// presolveFireAndForget discards a presolve-enabled solve: true positive.
+// The dual/presolve option surface routes through the same entry points, so
+// the analyzer must keep flagging these call sites unchanged.
+func presolveFireAndForget(p *lp.Problem) {
+	lp.SolveWithOptions(p, lp.Options{Presolve: true}) // want rentlint/checkedstatus
+}
+
+// presolveNoStatus consumes a presolved solution without reading Status:
+// true positive.
+func presolveNoStatus(p *lp.Problem) float64 {
+	sol, err := lp.SolveWithOptions(p, lp.Options{Presolve: true, NoDual: true}) // want rentlint/checkedstatus
+	if err != nil {
+		return 0
+	}
+	return sol.Obj
+}
+
+// presolveChecked examines both the error and the status: true negative.
+func presolveChecked(p *lp.Problem) (float64, error) {
+	sol, err := lp.SolveWithOptions(p, lp.Options{Presolve: true})
+	if err != nil {
+		return 0, err
+	}
+	if sol.Status != lp.StatusOptimal {
+		return 0, errNotOptimal
+	}
+	return sol.Obj, nil
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"rentplan/internal/market"
+	"rentplan/internal/mip"
 )
 
 // Config sets the shared experimental scenario.
@@ -32,6 +33,11 @@ type Config struct {
 	// (core.ExecConfig.Budget); zero runs unbudgeted, exactly as the paper
 	// does.
 	Budget time.Duration
+	// SolverProgress, when non-nil, is installed as mip.Options.Progress on
+	// the MILP solves the experiment studies run, streaming branch-and-bound
+	// snapshots (node throughput, warm-start dispatch, dual-simplex and
+	// eta-file counters) while the reproduction works.
+	SolverProgress func(mip.Stats)
 }
 
 // DefaultConfig returns the full-scale configuration used by the paper

@@ -43,6 +43,7 @@ func CapacitySweep(cfg *Config, capacities []float64) ([]CapacityPoint, error) {
 		return nil, fmt.Errorf("experiments: no capacities")
 	}
 	par := core.DefaultParams(market.M1Large)
+	par.Solver.Progress = cfg.SolverProgress
 	lambda, err := par.OnDemandRate()
 	if err != nil {
 		return nil, err
@@ -166,6 +167,7 @@ func FederationStudy(cfg *Config, sizes []int) ([]FederationPoint, error) {
 	const days = 40
 	T := days * 24
 	par := core.DefaultParams(market.C1Medium)
+	par.Solver.Progress = cfg.SolverProgress
 	dem := demand.Series(demand.NewTruncNormal(0.4, 0.2, cfg.DemandSeed), T)
 	var out []FederationPoint
 	var base float64
@@ -225,6 +227,7 @@ func RiskFrontier(cfg *Config, lambdas []float64) ([]RiskPoint, error) {
 		Probs:  []float64{0.3, 0.4, 0.3},
 	}
 	par := core.DefaultParams(market.M1XLarge)
+	par.Solver.Progress = cfg.SolverProgress
 	par.Pricing.IOPerGBHour *= 2
 	lambdaOD, err := par.OnDemandRate()
 	if err != nil {

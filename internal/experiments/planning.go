@@ -36,6 +36,7 @@ func Fig10CostComparison(cfg *Config) ([]Fig10Row, error) {
 	var rows []Fig10Row
 	for _, class := range market.PlanningClasses() {
 		par := core.DefaultParams(class)
+		par.Solver.Progress = cfg.SolverProgress
 		lambda, err := par.OnDemandRate()
 		if err != nil {
 			return nil, err

@@ -1,0 +1,187 @@
+package lp
+
+// eta.go implements the product-form eta file used by the dual-simplex warm
+// path: after k basis exchanges the current basis inverse is
+//
+//	B⁻¹ = E_k · E_{k-1} ··· E_1 · B₀⁻¹
+//
+// where B₀⁻¹ is the dense inverse held in simplex.binv (as produced by
+// installBasis or the last refactorisation) and each E is an elementary
+// matrix differing from the identity in a single column. A basis exchange
+// therefore costs O(nnz(spike)) to record instead of the O(m²) eager rank-1
+// update of the primal path, and the dual pricing row — which starts as a
+// unit vector and gains at most one fill-in per eta — is recovered in
+// O(k·m) instead of O(m²).
+//
+// The stack is collapsed back into binv ("refactorised") when it grows past
+// etaCapMax etas or its stored fill passes etaSpikeFactor·m nonzeros,
+// preferably by re-factorising from the basis columns via the triangular
+// peel (which also recomputes the basic values, containing drift).
+
+const (
+	// etaCapMax bounds the eta-stack depth: past it, applying the stack to
+	// every FTRAN/BTRAN costs more than one refactorisation amortises.
+	etaCapMax = 64
+	// etaSpikeFactor bounds the stored eta fill at etaSpikeFactor·m
+	// nonzeros: dense spikes both slow the stack down and accumulate drift
+	// faster, so they trigger the refactorisation earlier.
+	etaSpikeFactor = 8
+)
+
+// etaFile is the update stack. All storage is flat and pooled with the
+// owning simplex, so steady-state dual re-solves allocate nothing.
+type etaFile struct {
+	pivRow []int32   // pivot row of each eta
+	pivInv []float64 // diagonal entry 1/w_r of each eta
+	start  []int32   // off-diagonal span per eta: idx/val[start[k]:start[k+1]]
+	idx    []int32   // off-diagonal row indices
+	val    []float64 // off-diagonal values −w_i/w_r
+}
+
+func (e *etaFile) reset() {
+	e.pivRow = e.pivRow[:0]
+	e.pivInv = e.pivInv[:0]
+	e.idx = e.idx[:0]
+	e.val = e.val[:0]
+	if cap(e.start) == 0 {
+		e.start = make([]int32, 1, 16)
+	}
+	e.start = e.start[:1]
+	e.start[0] = 0
+}
+
+func (e *etaFile) count() int { return len(e.pivRow) }
+func (e *etaFile) nnz() int   { return len(e.idx) }
+
+// push records the elementary update of a basis exchange with spike
+// w = B⁻¹A_enter and pivot row r. The caller guarantees |w[r]| > PivotTol.
+func (e *etaFile) push(r int, w []float64) {
+	//lint:ignore rentlint/nanprop the dual ratio test only admits pivots with |w[r]| > num.PivotTol
+	inv := 1 / w[r]
+	e.pivRow = append(e.pivRow, int32(r))
+	e.pivInv = append(e.pivInv, inv)
+	for i, wi := range w {
+		if i == r {
+			continue
+		}
+		if wi == 0 { //lint:ignore rentlint/floatcmp exact-zero skip: a zero spike entry contributes no off-diagonal term
+			continue
+		}
+		e.idx = append(e.idx, int32(i))
+		e.val = append(e.val, -wi*inv)
+	}
+	e.start = append(e.start, int32(len(e.idx)))
+}
+
+// ftranApply maps x ← E_k···E_1·x in place, one eta at a time. Each eta
+// only scales component p and adds multiples of the (pre-update) x_p to its
+// off-diagonal rows, so a zero x_p makes the whole eta a no-op.
+func (e *etaFile) ftranApply(x []float64) {
+	for k := 0; k < len(e.pivRow); k++ {
+		p := e.pivRow[k]
+		xp := x[p]
+		if xp == 0 { //lint:ignore rentlint/floatcmp exact-zero skip: the eta scales/adds multiples of x_p only
+			continue
+		}
+		x[p] = e.pivInv[k] * xp
+		for t := e.start[k]; t < e.start[k+1]; t++ {
+			x[e.idx[t]] += e.val[t] * xp
+		}
+	}
+}
+
+// ftranCol computes dst = B⁻¹·A_j through the eta stack: the dense base
+// inverse first, then every eta in application order.
+func (s *simplex) ftranCol(j int, dst []float64) {
+	s.ftranInto(j, dst)
+	s.eta.ftranApply(dst)
+}
+
+// btranRow computes dst = row r of the current B⁻¹, i.e.
+// e_rᵀ·E_k···E_1·B₀⁻¹. Multiplying a row vector by one eta changes exactly
+// one component (the eta's pivot position), so the intermediate vector ρ
+// stays ≤ k+1 sparse and the final combination ρᵀ·B₀⁻¹ touches only
+// nnz(ρ) dense rows of binv — O(k·m) total instead of the O(m²) a dense
+// row extraction would cost.
+func (s *simplex) btranRow(r int, dst []float64) {
+	e := &s.eta
+	rho := s.etaRho // all-zero outside the tracked nz positions (invariant)
+	nz := s.etaRhoNZ[:0]
+	rho[r] = 1
+	nz = append(nz, int32(r))
+	for k := len(e.pivRow) - 1; k >= 0; k-- {
+		p := e.pivRow[k]
+		acc := rho[p] * e.pivInv[k]
+		for t := e.start[k]; t < e.start[k+1]; t++ {
+			if v := rho[e.idx[t]]; v != 0 { //lint:ignore rentlint/floatcmp exact-zero skip: zero components contribute nothing to the dot product
+				acc += v * e.val[t]
+			}
+		}
+		if rho[p] == 0 { //lint:ignore rentlint/floatcmp exact-zero membership test: a position enters the nz list exactly once
+			nz = append(nz, p)
+		}
+		rho[p] = acc
+	}
+	for k := range dst {
+		dst[k] = 0
+	}
+	for _, i := range nz {
+		ri := rho[i]
+		if ri == 0 { //lint:ignore rentlint/floatcmp exact-zero skip: a zero multiplier contributes nothing
+			continue
+		}
+		row := s.binv[i]
+		for k := range dst {
+			dst[k] += ri * row[k]
+		}
+	}
+	// Restore the all-zero scratch invariant.
+	for _, i := range nz {
+		rho[i] = 0
+	}
+	s.etaRhoNZ = nz[:0]
+}
+
+// collapseEtas folds the eta stack into binv eagerly (the same elementary
+// row updates the primal pivot applies), leaving binv the true current B⁻¹
+// and the stack empty. It is the always-works fallback when the triangular
+// peel declares the basis numerically singular.
+func (s *simplex) collapseEtas() {
+	e := &s.eta
+	m := s.m
+	for k := 0; k < len(e.pivRow); k++ {
+		p := e.pivRow[k]
+		rowP := s.binv[p]
+		for t := e.start[k]; t < e.start[k+1]; t++ {
+			f := e.val[t]
+			row := s.binv[e.idx[t]]
+			for c := 0; c < m; c++ {
+				row[c] += f * rowP[c]
+			}
+		}
+		inv := e.pivInv[k]
+		for c := 0; c < m; c++ {
+			rowP[c] *= inv
+		}
+	}
+	e.reset()
+}
+
+// refactorEta re-establishes the invariant binv == B⁻¹ with an empty eta
+// stack: preferably by refactorising from the basis columns (triangular
+// peel with dense fallback, which also recomputes the basic values and so
+// contains drift), falling back to eagerly collapsing the stack into binv
+// when the basis matrix is reported numerically singular. A no-op when the
+// stack is already empty.
+func (s *simplex) refactorEta() {
+	if s.eta.count() == 0 {
+		return
+	}
+	s.refactorizations++
+	if s.invertBasis() {
+		s.eta.reset()
+		s.computeBasicValues()
+		return
+	}
+	s.collapseEtas()
+}

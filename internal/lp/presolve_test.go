@@ -1,0 +1,397 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// rowActivity computes A_i·x over either matrix backing.
+func rowActivity(p *Problem, i int, x []float64) float64 {
+	act := 0.0
+	if p.sparseBacked() {
+		r := &p.SA[i]
+		for k, j := range r.Ix {
+			act += r.V[k] * x[j]
+		}
+	} else {
+		for j, a := range p.A[i] {
+			act += a * x[j]
+		}
+	}
+	return act
+}
+
+// checkKKT verifies an optimal (x, y) pair against the ORIGINAL problem:
+// dual sign conventions, complementary slackness on rows, and stationarity
+// of the reduced costs against the variable bounds. This is what makes the
+// presolve round-trip meaningful — the postsolved duals must be a genuine
+// optimality certificate in the original space, not just row-mapped values.
+func checkKKT(t *testing.T, p *Problem, sol *Solution, tag string) {
+	t.Helper()
+	const tol = 1e-6
+	if sol.Duals == nil {
+		t.Fatalf("%s: optimal solve missing duals", tag)
+	}
+	n := p.NumVars()
+	v := make([]float64, n) // yᵀA per column
+	for i := 0; i < p.NumRows(); i++ {
+		y := sol.Duals[i]
+		act := rowActivity(p, i, sol.X)
+		scale := tol * math.Max(1, math.Abs(p.B[i]))
+		switch p.Rel[i] {
+		case LE:
+			if y > tol {
+				t.Fatalf("%s: LE row %d has positive dual %v", tag, i, y)
+			}
+			if y < -tol && act < p.B[i]-scale {
+				t.Fatalf("%s: slack LE row %d (act %v < b %v) carries dual %v", tag, i, act, p.B[i], y)
+			}
+		case GE:
+			if y < -tol {
+				t.Fatalf("%s: GE row %d has negative dual %v", tag, i, y)
+			}
+			if y > tol && act > p.B[i]+scale {
+				t.Fatalf("%s: slack GE row %d (act %v > b %v) carries dual %v", tag, i, act, p.B[i], y)
+			}
+		}
+		if math.Abs(y) <= tol {
+			continue
+		}
+		if p.sparseBacked() {
+			r := &p.SA[i]
+			for k, j := range r.Ix {
+				v[j] += y * r.V[k]
+			}
+		} else {
+			for j, a := range p.A[i] {
+				v[j] += y * a
+			}
+		}
+	}
+	for j := 0; j < n; j++ {
+		d := p.C[j] - v[j]
+		lo, hi := p.boundsAt(j)
+		atLo := !math.IsInf(lo, -1) && sol.X[j] <= lo+tol*math.Max(1, math.Abs(lo))
+		atHi := !math.IsInf(hi, 1) && sol.X[j] >= hi-tol*math.Max(1, math.Abs(hi))
+		dTol := tol * math.Max(1, math.Abs(p.C[j]))
+		switch {
+		case atLo && d >= -dTol:
+		case atHi && d <= dTol:
+		case math.Abs(d) <= dTol:
+		default:
+			t.Fatalf("%s: col %d violates stationarity: x=%v in [%v,%v], reduced cost %v", tag, j, sol.X[j], lo, hi, d)
+		}
+	}
+}
+
+// presolveLP generates a random feasible-by-construction LP salted with the
+// structures presolve targets: singleton rows, point-fixed variables, and
+// occasionally loose (redundant) inequalities.
+func presolveLP(rng *rand.Rand) *Problem {
+	n := 3 + rng.Intn(8)
+	m := 2 + rng.Intn(7)
+	p := &Problem{
+		C: make([]float64, n), A: make([][]float64, m),
+		Rel: make([]Rel, m), B: make([]float64, m),
+		Lower: make([]float64, n), Upper: make([]float64, n),
+	}
+	x0 := make([]float64, n)
+	for j := 0; j < n; j++ {
+		p.C[j] = rng.NormFloat64()
+		p.Upper[j] = 1 + rng.Float64()*5
+		x0[j] = rng.Float64() * p.Upper[j]
+		if rng.Intn(10) == 0 { // point-fixed variable
+			p.Lower[j], p.Upper[j] = x0[j], x0[j]
+		}
+	}
+	for i := 0; i < m; i++ {
+		row := make([]float64, n)
+		if rng.Intn(4) == 0 { // singleton row
+			j := rng.Intn(n)
+			row[j] = rng.NormFloat64()
+			if row[j] == 0 { //lint:ignore rentlint/floatcmp regenerate the measure-zero degenerate draw
+				row[j] = 1
+			}
+			v := row[j] * x0[j]
+			p.A[i] = row
+			switch rng.Intn(3) {
+			case 0:
+				p.Rel[i], p.B[i] = LE, v+rng.Float64()
+			case 1:
+				p.Rel[i], p.B[i] = GE, v-rng.Float64()
+			default:
+				p.Rel[i], p.B[i] = EQ, v
+			}
+			continue
+		}
+		v := 0.0
+		for j := 0; j < n; j++ {
+			row[j] = rng.NormFloat64()
+			v += row[j] * x0[j]
+		}
+		p.A[i] = row
+		switch rng.Intn(4) {
+		case 0:
+			p.Rel[i], p.B[i] = LE, v+rng.Float64()
+		case 1:
+			p.Rel[i], p.B[i] = GE, v-rng.Float64()
+		case 2:
+			p.Rel[i], p.B[i] = EQ, v
+		default: // loose, likely bound-redundant
+			p.Rel[i], p.B[i] = LE, v+50+rng.Float64()*100
+		}
+	}
+	return p
+}
+
+// TestPresolveRoundTripFuzz solves random reduction-rich LPs with and
+// without presolve: statuses must match, objectives agree, and the
+// postsolved primal/dual pair must satisfy the KKT conditions of the
+// ORIGINAL problem.
+func TestPresolveRoundTripFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(909))
+	trials, reducedTrials := 0, 0
+	for trial := 0; trial < 120; trial++ {
+		p := presolveLP(rng)
+		cold, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pre, err := SolveWithOptions(p, Options{Presolve: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trials++
+		if pre.Status != cold.Status {
+			t.Fatalf("trial %d: presolve status %v, cold status %v", trial, pre.Status, cold.Status)
+		}
+		if pre.PresolveRows > 0 || pre.PresolveCols > 0 {
+			reducedTrials++
+		}
+		if cold.Status != StatusOptimal {
+			continue
+		}
+		if math.Abs(pre.Obj-cold.Obj) > 1e-7*(1+math.Abs(cold.Obj)) {
+			t.Fatalf("trial %d: presolve obj %.12g, cold obj %.12g", trial, pre.Obj, cold.Obj)
+		}
+		if !feasible(p, pre.X, 1e-6) {
+			t.Fatalf("trial %d: postsolved point infeasible on the original problem", trial)
+		}
+		checkKKT(t, p, pre, "presolved")
+	}
+	if reducedTrials < trials/4 {
+		t.Fatalf("only %d/%d trials actually reduced — the generator is not exercising presolve", reducedTrials, trials)
+	}
+	t.Logf("trials=%d reduced=%d", trials, reducedTrials)
+}
+
+// TestPresolveReductionCounters pins each reduction on a crafted instance:
+// an EQ singleton (fixes x0), a tightening LE singleton (folds x1 ≤ 4), a
+// bound-redundant row, and one surviving constraint. The counters must
+// report exactly what was eliminated, and the folded singleton's dual must
+// be reconstructed (the bound is binding at the optimum, so its shadow
+// price is −1, not zero).
+func TestPresolveReductionCounters(t *testing.T) {
+	p := &Problem{
+		C: []float64{0, -1, 1, 1},
+		A: [][]float64{
+			{2, 0, 0, 0}, // EQ singleton: 2·x0 = 6 → x0 fixed at 3
+			{0, 1, 0, 0}, // LE singleton: x1 ≤ 4 (tightens 10)
+			{0, 0, 1, 1}, // redundant: x2 + x3 ≤ 25 vs max activity 20
+			{0, 0, 1, 1}, // survives: x2 + x3 ≥ 5
+		},
+		Rel:   []Rel{EQ, LE, LE, GE},
+		B:     []float64{6, 4, 25, 5},
+		Lower: []float64{0, 0, 0, 0},
+		Upper: []float64{10, 10, 10, 10},
+	}
+	sol, err := SolveWithOptions(p, Options{Presolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if sol.PresolveRows != 3 {
+		t.Fatalf("PresolveRows = %d, want 3", sol.PresolveRows)
+	}
+	if sol.PresolveCols != 1 {
+		t.Fatalf("PresolveCols = %d, want 1", sol.PresolveCols)
+	}
+	// Optimum: x0 = 3 (fixed), x1 = 4 (folded bound, objective pushes up),
+	// x2 + x3 = 5 at cost 1 each → obj = −4 + 5 = 1.
+	if math.Abs(sol.Obj-1) > 1e-9 {
+		t.Fatalf("obj = %v, want 1", sol.Obj)
+	}
+	if math.Abs(sol.X[0]-3) > 1e-9 || math.Abs(sol.X[1]-4) > 1e-9 {
+		t.Fatalf("X = %v, want x0=3, x1=4", sol.X)
+	}
+	if sol.Basis != nil {
+		t.Fatal("reduced solve must not return a basis for the original problem")
+	}
+	checkKKT(t, p, sol, "counters")
+	// The folded singleton row 1 is binding: raising its rhs by δ lowers
+	// the objective by δ, so the reconstructed dual must be −1.
+	if math.Abs(sol.Duals[1]-(-1)) > 1e-9 {
+		t.Fatalf("folded singleton dual = %v, want -1", sol.Duals[1])
+	}
+	// The dropped redundant row must carry a zero dual.
+	if sol.Duals[2] != 0 {
+		t.Fatalf("redundant row dual = %v, want 0", sol.Duals[2])
+	}
+}
+
+// TestPresolveFarkasRay covers both infeasibility routes: a reduced-space
+// certificate that un-scales and verifies on the original, and a
+// bound-inversion bail that falls back to the cold solve. Either way the
+// returned ray must certify on the ORIGINAL problem.
+func TestPresolveFarkasRay(t *testing.T) {
+	// Route 1: infeasibility survives into the reduced problem (the third
+	// row is bound-redundant and is eliminated first).
+	p := &Problem{
+		C:     []float64{0, 0},
+		A:     [][]float64{{1, 1}, {1, 1}, {1, 1}},
+		Rel:   []Rel{GE, LE, LE},
+		B:     []float64{19, 5, 25},
+		Lower: []float64{0, 0},
+		Upper: []float64{10, 10},
+	}
+	sol, err := SolveWithOptions(p, Options{Presolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusInfeasible {
+		t.Fatalf("status %v, want infeasible", sol.Status)
+	}
+	certifyFarkas(t, p, sol.FarkasRay)
+
+	// Route 2: two singleton folds invert a bound interval; presolve must
+	// bail to the cold path, whose ray certifies as usual.
+	q := &Problem{
+		C:     []float64{0, 1},
+		A:     [][]float64{{1, 0}, {1, 0}, {1, 1}},
+		Rel:   []Rel{GE, LE, LE},
+		B:     []float64{5, 3, 12},
+		Lower: []float64{0, 0},
+		Upper: []float64{10, 10},
+	}
+	sol2, err := SolveWithOptions(q, Options{Presolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol2.Status != StatusInfeasible {
+		t.Fatalf("status %v, want infeasible", sol2.Status)
+	}
+	certifyFarkas(t, q, sol2.FarkasRay)
+}
+
+// TestPresolveUnboundedPassthrough: reductions must preserve unboundedness
+// verdicts (the reduced feasible rays embed in the original).
+func TestPresolveUnboundedPassthrough(t *testing.T) {
+	p := &Problem{
+		C: []float64{-1, 0, 0},
+		A: [][]float64{
+			{0, 1, 0},  // singleton: x1 ≤ 5 (tightens, forces a real reduction)
+			{1, 0, -1}, // x0 − x2 ≥ −5: does not cap x0
+		},
+		Rel:   []Rel{LE, GE},
+		B:     []float64{5, -5},
+		Lower: []float64{0, 0, 0},
+		Upper: []float64{math.Inf(1), 10, 10},
+	}
+	sol, err := SolveWithOptions(p, Options{Presolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusUnbounded {
+		t.Fatalf("status %v, want unbounded", sol.Status)
+	}
+}
+
+// TestPresolveScalingOnlyKeepsBasis: when no reduction fires, the solve is
+// only equilibrated, the shape is unchanged, and the returned basis must
+// remain usable to warm-start the original problem.
+func TestPresolveScalingOnlyKeepsBasis(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	var p *Problem
+	var sol *Solution
+	for tries := 0; tries < 50; tries++ {
+		cand := randomLP(rng, 8, 5)
+		s, err := SolveWithOptions(cand, Options{Presolve: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Status == StatusOptimal && s.PresolveRows == 0 && s.PresolveCols == 0 {
+			p, sol = cand, s
+			break
+		}
+	}
+	if p == nil {
+		t.Skip("no scaling-only optimal instance found")
+	}
+	if sol.Basis == nil {
+		t.Fatal("scaling-only solve dropped the basis")
+	}
+	warm, err := SolveFrom(p, sol.Basis, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Status != StatusOptimal {
+		t.Fatalf("warm re-solve from scaling-only basis: %v", warm.Status)
+	}
+	if math.Abs(warm.Obj-sol.Obj) > objTol(sol.Obj) {
+		t.Fatalf("warm obj %v, presolved obj %v", warm.Obj, sol.Obj)
+	}
+}
+
+// TestGeomScaleRoundTrip pins the exactness property the postsolve relies
+// on: scale factors are powers of two, so un-scaling is bit-exact.
+func TestGeomScaleRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	p := randomLP(rng, 12, 6)
+	// Make the magnitudes wild so scaling has something to do.
+	for i := range p.A {
+		f := math.Pow(10, float64(rng.Intn(7)-3))
+		for j := range p.A[i] {
+			p.A[i][j] *= f
+		}
+		p.B[i] *= f
+	}
+	sp := p.Clone()
+	sp.SA = make([]SparseRow, len(p.A))
+	for i, row := range p.A {
+		ix := []int{}
+		v := []float64{}
+		for j, a := range row {
+			if a != 0 { //lint:ignore rentlint/floatcmp exact-zero skip when densifying to the sparse backing
+				ix = append(ix, j)
+				v = append(v, a)
+			}
+		}
+		sp.SA[i] = NewSparseRow(ix, v)
+	}
+	rs, cs := geomScale(sp)
+	for _, s := range append(append([]float64{}, rs...), cs...) {
+		if s <= 0 || math.IsInf(s, 0) || math.IsNaN(s) {
+			t.Fatalf("degenerate scale factor %v", s)
+		}
+		if l := math.Log2(s); l != math.Trunc(l) { //lint:ignore rentlint/floatcmp log2 of a power of two is an exact integer
+			t.Fatalf("scale %v is not a power of two", s)
+		}
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := SolveWithOptions(p, Options{Presolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != pre.Status {
+		t.Fatalf("status %v vs %v", sol.Status, pre.Status)
+	}
+	if sol.Status == StatusOptimal && math.Abs(sol.Obj-pre.Obj) > objTol(sol.Obj) {
+		t.Fatalf("obj %v vs %v", sol.Obj, pre.Obj)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package lp
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-count assertions are meaningless under its instrumentation.
+const raceEnabled = false

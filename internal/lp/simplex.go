@@ -74,6 +74,24 @@ type simplex struct {
 
 	factor peelScratch // triangular-peel refactorisation scratch
 
+	// Dual-simplex and eta-file state (dual.go, eta.go). The eta stack is
+	// only ever non-empty while runDual is executing: every dual exit path
+	// that hands the basis to phase 2 or the primal repair refactorises
+	// first, so the primal loops always see binv == B⁻¹ exactly as before.
+	eta      etaFile
+	dred     []float64 // nonbasic reduced costs maintained by the dual path
+	alpha    []float64 // dual pricing row α_j = (B⁻¹A_j)_r per column
+	rowr     []float64 // BTRAN scratch: row r of the current B⁻¹
+	w2       []float64 // secondary FTRAN scratch (bound-flip spikes)
+	etaRho   []float64 // sparse BTRAN scratch, all-zero outside etaRhoNZ
+	etaRhoNZ []int32
+	elig     []int32 // dual ratio-test candidate list
+	flips    []int32 // pending bound flips of the current dual pivot
+
+	dualIters        int // dual-simplex pivots (Solution.DualIters)
+	etaCount         int // eta updates recorded (Solution.EtaCount)
+	refactorizations int // basis refactorisations (Solution.Refactorizations)
+
 	// ctx, when non-nil, is polled every ctxCheckInterval pivots; a canceled
 	// or expired context stops the phase loops with StatusCanceled. Nil on
 	// the plain Solve/SolveWithOptions/SolveFrom paths, so they pay nothing.
@@ -167,6 +185,23 @@ func (s *simplex) reset(p *Problem, opts Options) {
 	s.pivotRefreshed = false
 	s.sweeps = 0
 	s.candHits = 0
+	s.eta.reset()
+	s.dred = growFloat(s.dred, s.nTot)
+	s.alpha = growFloat(s.alpha, s.nTot)
+	s.rowr = growFloat(s.rowr, m)
+	s.w2 = growFloat(s.w2, m)
+	s.etaRho = growFloat(s.etaRho, m)
+	// btranRow relies on etaRho being all-zero outside its tracked nonzero
+	// list; a recycled buffer holds stale values, so zero it explicitly.
+	for i := range s.etaRho {
+		s.etaRho[i] = 0
+	}
+	s.etaRhoNZ = s.etaRhoNZ[:0]
+	s.elig = s.elig[:0]
+	s.flips = s.flips[:0]
+	s.dualIters = 0
+	s.etaCount = 0
+	s.refactorizations = 0
 	s.ctx = nil
 }
 
@@ -266,13 +301,7 @@ func (s *simplex) solve() (*Solution, error) {
 				art += s.xval[s.basis[i]]
 			}
 		}
-		scale := 1.0
-		for _, b := range s.p.B {
-			if a := math.Abs(b); a > scale {
-				scale = a
-			}
-		}
-		if art > num.FeasTol*scale {
+		if art > num.FeasTol*s.phase1Scale() {
 			sol := s.result(StatusInfeasible, false)
 			sol.FarkasRay = s.dualVector(true)
 			return sol, nil
@@ -280,6 +309,47 @@ func (s *simplex) solve() (*Solution, error) {
 		s.evictArtificials()
 	}
 	return s.solvePhase2()
+}
+
+// phase1Scale returns the magnitude scale against which the phase-1
+// artificial residual is judged. The artificials absorb b − N·x_rest, so
+// the cancellation noise a feasible model can legitimately leave on them
+// grows both with the right-hand side and with the finite bound values the
+// nonbasic columns rest at, each amplified by its column's largest
+// coefficient. Scaling by max|B| alone misreported feasible models with
+// large lo/hi and a small right-hand side as infeasible.
+func (s *simplex) phase1Scale() float64 {
+	scale := 1.0
+	for _, b := range s.p.B {
+		if a := math.Abs(b); a > scale {
+			scale = a
+		}
+	}
+	c := &s.csc
+	for j := 0; j < s.n; j++ {
+		v := 0.0
+		if lo := s.lo[j]; !math.IsInf(lo, -1) {
+			v = math.Abs(lo)
+		}
+		if hi := s.hi[j]; !math.IsInf(hi, 1) {
+			if a := math.Abs(hi); a > v {
+				v = a
+			}
+		}
+		if v == 0 { //lint:ignore rentlint/floatcmp exact-zero skip: a zero rest magnitude contributes no residual noise
+			continue
+		}
+		colMax := 0.0
+		for t := c.colPtr[j]; t < c.colPtr[j+1]; t++ {
+			if a := math.Abs(c.val[t]); a > colMax {
+				colMax = a
+			}
+		}
+		if va := v * colMax; va > scale {
+			scale = va
+		}
+	}
+	return scale
 }
 
 // solvePhase2 locks the artificial columns at zero, restores the true
@@ -297,6 +367,16 @@ func (s *simplex) solvePhase2() (*Solution, error) {
 			s.stat[j] = statusAtLower
 		}
 	}
+	// Honor an already-expired context before the first pivot: the phase
+	// loops only poll every ctxCheckInterval pivots, so without this check
+	// an entry with iters%ctxCheckInterval != 0 — or the clean-install warm
+	// path — could run up to ctxCheckInterval−1 pivots past cancellation.
+	// The iterate here is primal feasible in every entry case (post
+	// phase 1, post repair, or a clean warm install), so X/Obj may be
+	// reported exactly as for a cancellation that fires mid-phase-2.
+	if s.canceled() {
+		return s.result(StatusCanceled, true), nil
+	}
 	st := s.runPhase(false)
 	sol := s.result(st, true)
 	if st == StatusOptimal {
@@ -308,20 +388,15 @@ func (s *simplex) solvePhase2() (*Solution, error) {
 
 // dualVector returns y = c_B B⁻¹ for the phase's cost vector: at a phase-2
 // optimum these are the row shadow prices; at a positive phase-1 optimum
-// they form a Farkas-style infeasibility certificate.
+// they form a Farkas-style infeasibility certificate. The accumulation runs
+// on the pooled s.y scratch (computeDuals walks the identical terms in the
+// identical order, so the result is bit-for-bit what the historical private
+// accumulator produced) and only the exported copy is freshly allocated.
 func (s *simplex) dualVector(phase1 bool) []float64 {
-	y := make([]float64, s.m)
-	for i := 0; i < s.m; i++ {
-		cb := s.phaseCost(s.basis[i], phase1)
-		if cb == 0 { //lint:ignore rentlint/floatcmp exact-zero skip: omitting a zero coefficient changes no sum, for any rounding
-			continue
-		}
-		row := s.binv[i]
-		for k := 0; k < s.m; k++ {
-			y[k] += cb * row[k]
-		}
-	}
-	return y
+	s.computeDuals(phase1)
+	out := make([]float64, s.m)
+	copy(out, s.y)
+	return out
 }
 
 // setupPhase1 places nonbasic columns at rest, installs the artificial
@@ -920,6 +995,7 @@ func (s *simplex) refresh() {
 	if !s.invertBasis() {
 		return
 	}
+	s.refactorizations++
 	s.computeBasicValues()
 }
 
@@ -1027,11 +1103,14 @@ func (s *simplex) computeBasicValues() {
 // valid bound.
 func (s *simplex) result(st Status, feasiblePoint bool) *Solution {
 	sol := &Solution{
-		Status:        st,
-		Iterations:    s.iters,
-		PricingSweeps: s.sweeps,
-		CandidateHits: s.candHits,
-		NNZ:           s.csc.nnz(),
+		Status:           st,
+		Iterations:       s.iters,
+		PricingSweeps:    s.sweeps,
+		CandidateHits:    s.candHits,
+		NNZ:              s.csc.nnz(),
+		DualIters:        s.dualIters,
+		EtaCount:         s.etaCount,
+		Refactorizations: s.refactorizations,
 	}
 	if st == StatusOptimal || ((st == StatusIterLimit || st == StatusCanceled) && feasiblePoint) {
 		sol.X = make([]float64, s.n)

@@ -24,6 +24,10 @@ const (
 	// singular) or the repair stalled, and the exact cold two-phase path
 	// produced the result instead.
 	WarmFallback
+	// WarmDual means the installed basis priced dual feasible and the dual
+	// simplex drove out the bound violations introduced by branching, so
+	// the restricted primal repair was skipped entirely.
+	WarmDual
 )
 
 func (w WarmStart) String() string {
@@ -36,6 +40,8 @@ func (w WarmStart) String() string {
 		return "miss"
 	case WarmFallback:
 		return "fallback"
+	case WarmDual:
+		return "dual"
 	}
 	return fmt.Sprintf("WarmStart(%d)", int8(w))
 }
@@ -78,6 +84,38 @@ func SolveFromCtx(ctx context.Context, p *Problem, basis *Basis, opts Options) (
 			sol.WarmStart = WarmHit
 		}
 		return sol, err
+	}
+	// The install left bound violations. A branch-and-bound child differs
+	// from its parent by a single bound, so the parent basis normally prices
+	// dual feasible for the child: route it through the dual simplex, which
+	// removes the violations without the primal repair's feasibility detour.
+	// Every inconclusive dual outcome (a stall) falls through to the primal
+	// repair with whatever progress was made, and from there to the exact
+	// cold path — infeasibility and unboundedness are still only ever
+	// certified cold.
+	if !opts.NoDual && s.dualFeasible() {
+		switch s.runDual() {
+		case dualDone:
+			sol, err := s.solvePhase2()
+			s.release()
+			if err == nil {
+				sol.WarmStart = WarmDual
+			}
+			return sol, err
+		case dualIterLimit:
+			// The pivot budget ran out before primal feasibility: like a
+			// cold limit mid-phase-1, no usable point is reported.
+			sol := s.result(StatusIterLimit, false)
+			sol.WarmStart = WarmDual
+			s.release()
+			return sol, nil
+		case dualCanceled:
+			sol := s.result(StatusCanceled, false)
+			sol.WarmStart = WarmDual
+			s.release()
+			return sol, nil
+		}
+		// dualStalled: fall through to runRepair below.
 	}
 	switch s.runRepair() {
 	case repairDone:

@@ -60,9 +60,10 @@ func TestWarmStartHitSameProblem(t *testing.T) {
 
 func TestWarmStartAfterBoundChange(t *testing.T) {
 	// The branch-and-bound case: tighten one variable bound past the parent
-	// optimum and re-solve warm. The basic column turns infeasible, so the
-	// restricted repair must run (a miss, not a fallback) and land on the
-	// same optimum as a cold solve.
+	// optimum and re-solve warm. The basic column turns infeasible, but the
+	// parent basis stays dual feasible, so the dual simplex must repair it
+	// (a dual, not a miss or fallback) and land on the same optimum as a
+	// cold solve.
 	p := &Problem{
 		C:     []float64{-1, -1},
 		A:     [][]float64{{1, 2}, {3, 1}},
@@ -85,8 +86,11 @@ func TestWarmStartAfterBoundChange(t *testing.T) {
 	if warm.Status != StatusOptimal || coldSol.Status != StatusOptimal {
 		t.Fatalf("status warm=%v cold=%v", warm.Status, coldSol.Status)
 	}
-	if warm.WarmStart != WarmMiss {
-		t.Fatalf("WarmStart = %v, want miss (bound change violates the basis)", warm.WarmStart)
+	if warm.WarmStart != WarmDual {
+		t.Fatalf("WarmStart = %v, want dual (bound change keeps the basis dual feasible)", warm.WarmStart)
+	}
+	if warm.DualIters == 0 {
+		t.Fatalf("WarmDual solve reported zero dual iterations")
 	}
 	if math.Abs(warm.Obj-coldSol.Obj) > objTol(coldSol.Obj) {
 		t.Fatalf("warm obj %v != cold obj %v", warm.Obj, coldSol.Obj)
@@ -331,7 +335,7 @@ func TestWarmRepairIterLimitNoPartialPoint(t *testing.T) {
 // at optimality, on the objective to num.LPTol.
 func TestWarmColdAgreementFuzz(t *testing.T) {
 	rng := rand.New(rand.NewSource(2024))
-	trials, hits, misses, fallbacks := 0, 0, 0, 0
+	trials, hits, misses, duals, fallbacks := 0, 0, 0, 0, 0
 	for trial := 0; trial < 120; trial++ {
 		n := 3 + rng.Intn(8)
 		m := 2 + rng.Intn(6)
@@ -396,6 +400,8 @@ func TestWarmColdAgreementFuzz(t *testing.T) {
 			hits++
 		case WarmMiss:
 			misses++
+		case WarmDual:
+			duals++
 		case WarmFallback:
 			fallbacks++
 		default:
@@ -417,10 +423,13 @@ func TestWarmColdAgreementFuzz(t *testing.T) {
 	if trials < 60 {
 		t.Fatalf("only %d usable trials", trials)
 	}
-	if hits+misses == 0 {
-		t.Fatalf("warm start never engaged (hits=%d misses=%d fallbacks=%d)", hits, misses, fallbacks)
+	if hits+misses+duals == 0 {
+		t.Fatalf("warm start never engaged (hits=%d misses=%d duals=%d fallbacks=%d)", hits, misses, duals, fallbacks)
 	}
-	t.Logf("trials=%d hits=%d misses=%d fallbacks=%d", trials, hits, misses, fallbacks)
+	if duals == 0 {
+		t.Fatalf("dual path never engaged (hits=%d misses=%d fallbacks=%d)", hits, misses, fallbacks)
+	}
+	t.Logf("trials=%d hits=%d misses=%d duals=%d fallbacks=%d", trials, hits, misses, duals, fallbacks)
 }
 
 func TestWarmStartStrings(t *testing.T) {
@@ -429,6 +438,7 @@ func TestWarmStartStrings(t *testing.T) {
 		WarmHit.String():      "hit",
 		WarmMiss.String():     "miss",
 		WarmFallback.String(): "fallback",
+		WarmDual.String():     "dual",
 	}
 	for got, want := range cases {
 		if got != want {

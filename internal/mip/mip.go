@@ -292,10 +292,16 @@ type bnb struct {
 	// pivots each dispatch class consumed.
 	warmHits      atomic.Int64
 	warmMisses    atomic.Int64
+	warmDuals     atomic.Int64
 	warmFallbacks atomic.Int64
 	warmIters     atomic.Int64
 	coldNodes     atomic.Int64
 	coldIters     atomic.Int64
+
+	// dual-simplex / eta-file accounting aggregated from the node LPs.
+	dualIters        atomic.Int64
+	etaCount         atomic.Int64
+	refactorizations atomic.Int64
 
 	// sparse-pricing accounting aggregated from the node LP solutions.
 	pricingSweeps atomic.Int64
@@ -342,6 +348,10 @@ func newBnB(ctx context.Context, p *Problem, opts Options) *bnb {
 	// MaxIter reaches every node identically on both the warm and the cold
 	// dispatch paths, instead of being re-defaulted per node.
 	b.lpOpts = opts.LP.Resolved(p.LP.NumRows(), n)
+	// Presolve would suppress the basis snapshots the warm-start machinery
+	// feeds on (and reshape the node LPs), so node relaxations always run
+	// unreduced regardless of the caller's LP options.
+	b.lpOpts.Presolve = false
 	b.cond = sync.NewCond(&b.mu)
 	b.incBits.Store(math.Float64bits(math.Inf(1)))
 	b.psUp = make([]atomicFloat64, n)
@@ -678,12 +688,18 @@ func (b *bnb) processNode(id int, work *lp.Problem, nd *node) {
 		b.iters.Add(int64(sol.Iterations))
 		b.pricingSweeps.Add(int64(sol.PricingSweeps))
 		b.candHits.Add(int64(sol.CandidateHits))
+		b.dualIters.Add(int64(sol.DualIters))
+		b.etaCount.Add(int64(sol.EtaCount))
+		b.refactorizations.Add(int64(sol.Refactorizations))
 		switch sol.WarmStart {
 		case lp.WarmHit:
 			b.warmHits.Add(1)
 			b.warmIters.Add(int64(sol.Iterations))
 		case lp.WarmMiss:
 			b.warmMisses.Add(1)
+			b.warmIters.Add(int64(sol.Iterations))
+		case lp.WarmDual:
+			b.warmDuals.Add(1)
 			b.warmIters.Add(int64(sol.Iterations))
 		case lp.WarmFallback:
 			b.warmFallbacks.Add(1)
@@ -960,15 +976,19 @@ func (b *bnb) snapshotLocked() Stats {
 		HasIncumbent:  b.hasInc,
 		Incumbent:     b.incObj,
 		Incumbents:    append([]IncumbentRecord(nil), b.history...),
-		WarmHits:      b.warmHits.Load(),
-		WarmMisses:    b.warmMisses.Load(),
-		WarmFallbacks: b.warmFallbacks.Load(),
-		WarmIters:     b.warmIters.Load(),
-		ColdNodes:     b.coldNodes.Load(),
-		ColdIters:     b.coldIters.Load(),
-		PricingSweeps: b.pricingSweeps.Load(),
-		CandidateHits: b.candHits.Load(),
-		NNZ:           b.nnz,
+		WarmHits:         b.warmHits.Load(),
+		WarmMisses:       b.warmMisses.Load(),
+		WarmDuals:        b.warmDuals.Load(),
+		WarmFallbacks:    b.warmFallbacks.Load(),
+		WarmIters:        b.warmIters.Load(),
+		ColdNodes:        b.coldNodes.Load(),
+		ColdIters:        b.coldIters.Load(),
+		PricingSweeps:    b.pricingSweeps.Load(),
+		CandidateHits:    b.candHits.Load(),
+		NNZ:              b.nnz,
+		DualIters:        b.dualIters.Load(),
+		EtaCount:         b.etaCount.Load(),
+		Refactorizations: b.refactorizations.Load(),
 	}
 	if s := el.Seconds(); s > 0 {
 		st.NodesPerSec = float64(b.nodes) / s

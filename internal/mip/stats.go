@@ -51,19 +51,22 @@ type Stats struct {
 	Incumbents []IncumbentRecord
 
 	// Warm-start accounting over node relaxations. Every solved node falls
-	// into exactly one class — WarmHits + WarmMisses + WarmFallbacks +
-	// ColdNodes == Nodes — so the per-node simplex-iteration averages
-	// WarmIters/(WarmHits+WarmMisses+WarmFallbacks) and ColdIters/ColdNodes
-	// expose the warm-start saving directly.
+	// into exactly one class — WarmHits + WarmMisses + WarmDuals +
+	// WarmFallbacks + ColdNodes == Nodes — so the per-node simplex-iteration
+	// averages WarmIters/(WarmHits+WarmMisses+WarmDuals+WarmFallbacks) and
+	// ColdIters/ColdNodes expose the warm-start saving directly.
 	//
 	// WarmHits counts nodes whose inherited basis was feasible as-is (phase 1
-	// skipped outright), WarmMisses nodes that needed the restricted bound
-	// repair first, and WarmFallbacks nodes where the warm attempt was
-	// abandoned for the cold path. ColdNodes counts nodes dispatched cold
-	// from the start: the root, and every node when Options.NoWarmStart is
-	// set. WarmIters and ColdIters split SimplexIters along the same line.
+	// skipped outright), WarmMisses nodes that needed the restricted primal
+	// bound repair first, WarmDuals nodes whose dual-feasible basis was
+	// repaired by the dual simplex, and WarmFallbacks nodes where the warm
+	// attempt was abandoned for the cold path. ColdNodes counts nodes
+	// dispatched cold from the start: the root, and every node when
+	// Options.NoWarmStart is set. WarmIters and ColdIters split SimplexIters
+	// along the same line.
 	WarmHits      int64
 	WarmMisses    int64
+	WarmDuals     int64
 	WarmFallbacks int64
 	WarmIters     int64
 	ColdNodes     int64
@@ -80,6 +83,16 @@ type Stats struct {
 	PricingSweeps int64
 	CandidateHits int64
 	NNZ           int
+
+	// Dual-simplex and eta-file accounting aggregated from the node LPs.
+	// DualIters is the subset of SimplexIters performed by the dual simplex
+	// on WarmDuals nodes, EtaCount the product-form eta updates recorded
+	// between refactorisations, and Refactorizations the total basis
+	// refactorisations (periodic primal refreshes, post-eviction refreshes,
+	// and dual eta-stack collapses).
+	DualIters        int64
+	EtaCount         int64
+	Refactorizations int64
 }
 
 // relGap returns |obj−bound| / max(1,|obj|), or +Inf when either side is

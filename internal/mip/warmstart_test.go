@@ -13,10 +13,10 @@ import (
 // covers all simplex pivots.
 func checkWarmAccounting(t *testing.T, st Stats) {
 	t.Helper()
-	total := st.WarmHits + st.WarmMisses + st.WarmFallbacks + st.ColdNodes
+	total := st.WarmHits + st.WarmMisses + st.WarmDuals + st.WarmFallbacks + st.ColdNodes
 	if total != int64(st.Nodes) {
-		t.Fatalf("warm accounting: hits %d + misses %d + fallbacks %d + cold %d = %d, want Nodes = %d",
-			st.WarmHits, st.WarmMisses, st.WarmFallbacks, st.ColdNodes, total, st.Nodes)
+		t.Fatalf("warm accounting: hits %d + misses %d + duals %d + fallbacks %d + cold %d = %d, want Nodes = %d",
+			st.WarmHits, st.WarmMisses, st.WarmDuals, st.WarmFallbacks, st.ColdNodes, total, st.Nodes)
 	}
 	if st.WarmIters+st.ColdIters != st.SimplexIters {
 		t.Fatalf("iteration accounting: warm %d + cold %d != total %d",
@@ -42,7 +42,7 @@ func TestWarmVsColdAgreement(t *testing.T) {
 		if coldSol.Status != StatusOptimal {
 			t.Fatalf("instance %d cold status %v", pi, coldSol.Status)
 		}
-		if coldSol.Stats.WarmHits+coldSol.Stats.WarmMisses+coldSol.Stats.WarmFallbacks != 0 {
+		if coldSol.Stats.WarmHits+coldSol.Stats.WarmMisses+coldSol.Stats.WarmDuals+coldSol.Stats.WarmFallbacks != 0 {
 			t.Fatalf("instance %d: NoWarmStart run recorded warm dispatches: %+v", pi, coldSol.Stats)
 		}
 		checkWarmAccounting(t, coldSol.Stats)
@@ -59,7 +59,7 @@ func TestWarmVsColdAgreement(t *testing.T) {
 					pi, workers, warmSol.Obj, coldSol.Obj)
 			}
 			checkWarmAccounting(t, warmSol.Stats)
-			if warmSol.Stats.WarmHits+warmSol.Stats.WarmMisses == 0 && warmSol.Stats.Nodes > 1 {
+			if warmSol.Stats.WarmHits+warmSol.Stats.WarmMisses+warmSol.Stats.WarmDuals == 0 && warmSol.Stats.Nodes > 1 {
 				t.Fatalf("instance %d workers %d: warm start never engaged: %+v", pi, workers, warmSol.Stats)
 			}
 		}
@@ -91,10 +91,10 @@ func TestWarmStartReducesIterations(t *testing.T) {
 		t.Fatalf("warm start saved nothing: warm %d iters, cold %d iters (warm stats %+v)",
 			warm.Stats.SimplexIters, cold.Stats.SimplexIters, warm.Stats)
 	}
-	t.Logf("simplex iters: warm %d vs cold %d (%.0f%% saved); hits=%d misses=%d fallbacks=%d",
+	t.Logf("simplex iters: warm %d vs cold %d (%.0f%% saved); hits=%d misses=%d duals=%d fallbacks=%d",
 		warm.Stats.SimplexIters, cold.Stats.SimplexIters,
 		100*(1-float64(warm.Stats.SimplexIters)/float64(cold.Stats.SimplexIters)),
-		warm.Stats.WarmHits, warm.Stats.WarmMisses, warm.Stats.WarmFallbacks)
+		warm.Stats.WarmHits, warm.Stats.WarmMisses, warm.Stats.WarmDuals, warm.Stats.WarmFallbacks)
 }
 
 // TestCustomLPTolReachesNodes pins the options-resolution bugfix: a caller-

@@ -49,6 +49,17 @@ const (
 	// the proven optimum.
 	FeasTol = 1e-7
 
+	// DualFeasTol is the reduced-cost sign tolerance under which an
+	// installed warm-start basis is classified dual feasible and routed to
+	// the dual simplex (lp.SolveFrom). It is deliberately looser than LPTol:
+	// a freshly refactorised child basis re-prices the parent's optimal
+	// reduced costs with different rounding, and a spurious "dual
+	// infeasible" verdict only costs the primal-repair detour — a reduced
+	// cost whose sign is wrong by less than DualFeasTol enters the dual
+	// ratio test as a near-zero-ratio candidate and is pivoted (or flipped)
+	// to the consistent side within the same tolerance.
+	DualFeasTol = 1e-7
+
 	// IntTol is the default integrality tolerance (mip.Options.IntTol): a
 	// relaxation value within IntTol of an integer counts as integral.
 	// Branching and pseudo-cost fractions are measured against the same
