@@ -4,11 +4,16 @@
 //
 // Usage:
 //
-//	rentlint [-C dir] [-json] [-suppressed] [-list] [patterns ...]
+//	rentlint [-C dir] [-json] [-suppressed] [-list] [-only names] [-skip names] [patterns ...]
 //
 // Patterns follow the go tool's directory form: "./..." (default),
-// "./internal/lp/..." or "./internal/mip". Exit codes: 0 when clean, 1 when
-// unsuppressed findings exist, 2 on load/type-check errors.
+// "./internal/lp/..." or "./internal/mip". -only and -skip take
+// comma-separated analyzer names (with or without the rentlint/ prefix) and
+// restrict the run to a subset of the suite; an unknown name is a usage
+// error. Note that staleignore judges directives only against the analyzers
+// that actually ran, so a narrowed run also narrows staleness reporting.
+// Exit codes: 0 when clean, 1 when unsuppressed findings exist, 2 on
+// load/type-check or usage errors.
 //
 // Findings are suppressed with a reasoned comment on (or directly above)
 // the offending line:
@@ -23,6 +28,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"rentplan/internal/analysis"
 )
@@ -39,12 +45,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonOut    = fs.Bool("json", false, "emit diagnostics as a JSON array")
 		suppressed = fs.Bool("suppressed", false, "also print findings neutralised by //lint:ignore")
 		list       = fs.Bool("list", false, "list the analyzers and exit")
+		only       = fs.String("only", "", "comma-separated analyzers to run (default: all)")
+		skip       = fs.String("skip", "", "comma-separated analyzers to exclude")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	analyzers, err := selectAnalyzers(*only, *skip)
+	if err != nil {
+		fmt.Fprintln(stderr, "rentlint:", err)
+		return 2
+	}
 	if *list {
-		for _, a := range analysis.All() {
+		for _, a := range analyzers {
 			fmt.Fprintf(stdout, "rentlint/%-14s %s\n", a.Name, a.Doc)
 		}
 		return 0
@@ -62,7 +75,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	res, err := analysis.Run(root, patterns, analysis.All())
+	res, err := analysis.Run(root, patterns, analyzers)
 	if err != nil {
 		fmt.Fprintln(stderr, "rentlint:", err)
 		return 2
@@ -99,6 +112,55 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// selectAnalyzers narrows the suite by the -only and -skip flags, keeping
+// the suite's deterministic order. Names may carry the rentlint/ prefix.
+func selectAnalyzers(only, skip string) ([]*analysis.Analyzer, error) {
+	all := analysis.All()
+	known := make(map[string]bool, len(all))
+	for _, a := range all {
+		known[a.Name] = true
+	}
+	parse := func(flagName, v string) (map[string]bool, error) {
+		if v == "" {
+			return nil, nil
+		}
+		set := make(map[string]bool)
+		for _, n := range strings.Split(v, ",") {
+			n = strings.TrimPrefix(strings.TrimSpace(n), "rentlint/")
+			if n == "" {
+				continue
+			}
+			if !known[n] {
+				return nil, fmt.Errorf("-%s: unknown analyzer %q (run rentlint -list for the roster)", flagName, n)
+			}
+			set[n] = true
+		}
+		return set, nil
+	}
+	onlySet, err := parse("only", only)
+	if err != nil {
+		return nil, err
+	}
+	skipSet, err := parse("skip", skip)
+	if err != nil {
+		return nil, err
+	}
+	var out []*analysis.Analyzer
+	for _, a := range all {
+		if onlySet != nil && !onlySet[a.Name] {
+			continue
+		}
+		if skipSet[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-only/-skip left no analyzers to run")
+	}
+	return out, nil
 }
 
 func findModuleRoot() (string, error) {

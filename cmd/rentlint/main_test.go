@@ -86,6 +86,134 @@ func TestPatternScoping(t *testing.T) {
 	}
 }
 
+// TestOnlyFlag restricts the run to a single analyzer; no other analyzer
+// may contribute diagnostics, and the corpus still has findings for it.
+func TestOnlyFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-C", corpus(), "-json", "-only", "floatcmp", "./..."}, &out, &errBuf)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errBuf.String())
+	}
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output does not parse: %v", err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("-only floatcmp produced no diagnostics")
+	}
+	for _, d := range diags {
+		// badignore is engine-level and always on; everything else must be
+		// the selected analyzer.
+		if d.Analyzer != "floatcmp" && d.Analyzer != "badignore" {
+			t.Errorf("-only floatcmp leaked a %s diagnostic at %s:%d", d.Analyzer, d.File, d.Line)
+		}
+	}
+}
+
+// TestSkipFlag excludes one analyzer; its diagnostics must vanish while the
+// rest of the suite still reports.
+func TestSkipFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-C", corpus(), "-json", "-skip", "rentlint/floatcmp,staleignore", "./..."}, &out, &errBuf)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errBuf.String())
+	}
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output does not parse: %v", err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("-skip floatcmp silenced the whole suite")
+	}
+	for _, d := range diags {
+		if d.Analyzer == "floatcmp" || d.Analyzer == "staleignore" {
+			t.Errorf("-skip leaked a %s diagnostic at %s:%d", d.Analyzer, d.File, d.Line)
+		}
+	}
+}
+
+// TestUnknownAnalyzerName is a usage error: exit code 2, nothing analyzed.
+func TestUnknownAnalyzerName(t *testing.T) {
+	for _, flagName := range []string{"-only", "-skip"} {
+		var out, errBuf bytes.Buffer
+		code := run([]string{"-C", corpus(), flagName, "nosuch", "./..."}, &out, &errBuf)
+		if code != 2 {
+			t.Errorf("%s nosuch: exit code = %d, want 2", flagName, code)
+		}
+		if !strings.Contains(errBuf.String(), "unknown analyzer") {
+			t.Errorf("%s nosuch: stderr %q does not name the unknown analyzer", flagName, errBuf.String())
+		}
+	}
+}
+
+// TestOnlyList narrows -list to the selected subset.
+func TestOnlyList(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-list", "-only", "floatcmp,nanprop"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "rentlint/floatcmp") || !strings.Contains(out.String(), "rentlint/nanprop") {
+		t.Fatalf("-list -only output is missing the selected analyzers:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "rentlint/synccopy") {
+		t.Fatalf("-list -only output contains an unselected analyzer:\n%s", out.String())
+	}
+}
+
+// TestPathStability pins the -C contract: however the module root is
+// spelled — relative path, trailing separator, or absolute — every reported
+// File is identical and module-root-relative, including findings located in
+// external _test packages. Tooling that consumes -json (CI annotations,
+// editors) keys on these paths, so they must not depend on the invocation
+// directory.
+func TestPathStability(t *testing.T) {
+	abs, err := filepath.Abs(corpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWith := func(root string) []analysis.Diagnostic {
+		t.Helper()
+		var out, errBuf bytes.Buffer
+		code := run([]string{"-C", root, "-json", "-suppressed", "./..."}, &out, &errBuf)
+		if code != 1 {
+			t.Fatalf("-C %s: exit code = %d, want 1; stderr: %s", root, code, errBuf.String())
+		}
+		var diags []analysis.Diagnostic
+		if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+			t.Fatalf("-C %s: -json output does not parse: %v", root, err)
+		}
+		return diags
+	}
+	base := runWith(corpus())
+	xtest := false
+	for _, d := range base {
+		if filepath.IsAbs(d.File) || strings.HasPrefix(d.File, "..") {
+			t.Errorf("File %q is not module-root-relative", d.File)
+		}
+		if strings.Contains(d.File, `\`) {
+			t.Errorf("File %q is not slash-separated", d.File)
+		}
+		if strings.HasSuffix(d.File, "external_test.go") {
+			xtest = true
+		}
+	}
+	if !xtest {
+		t.Error("no diagnostic from the external _test package; the xtest unit was dropped")
+	}
+	for _, root := range []string{abs, abs + string(filepath.Separator)} {
+		got := runWith(root)
+		if len(got) != len(base) {
+			t.Fatalf("-C %s: %d diagnostics, want %d", root, len(got), len(base))
+		}
+		for i := range got {
+			if got[i] != base[i] {
+				t.Errorf("-C %s: diagnostic %d = %+v, want %+v", root, i, got[i], base[i])
+			}
+		}
+	}
+}
+
 // TestList prints the analyzer roster and exits 0.
 func TestList(t *testing.T) {
 	var out, errBuf bytes.Buffer

@@ -1,7 +1,7 @@
 // Package analysis implements rentlint, a solver-aware static-analysis
 // engine for this repository. It is built purely on the standard library
 // (go/parser, go/ast, go/types with a source importer — no network, no
-// external tooling) and ships six analyzers that guard the numerical and
+// external tooling) and ships ten analyzers that guard the numerical and
 // concurrency invariants of the planning stack:
 //
 //   - floatcmp      — exact ==/!=/switch on floating-point operands
@@ -11,6 +11,14 @@
 //   - synccopy      — sync/atomic values passed or ranged over by value
 //   - tolconst      — magic tolerance literals bypassing internal/num
 //   - nanprop       — unguarded divisions in pivot/ratio-test code
+//   - poolescape    — sync.Pool values escaping or used past their Put
+//   - ctxflow       — caller contexts dropped on the way into a solve
+//   - statusflow    — path-sensitive Status-before-payload discipline
+//   - staleignore   — //lint:ignore directives that suppress nothing
+//
+// The last four are flow-powered: poolescape, ctxflow and statusflow run
+// forward dataflow over the per-function CFGs of internal/analysis/flow,
+// and staleignore audits the suppression machinery itself.
 //
 // Findings can be suppressed with a reasoned comment:
 //
@@ -27,6 +35,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
 	"regexp"
 	"sort"
 	"strings"
@@ -134,6 +143,26 @@ func All() []*Analyzer {
 		SyncCopy(),
 		TolConst(),
 		NaNProp(),
+		PoolEscape(),
+		CtxFlow(),
+		StatusFlow(),
+		StaleIgnore(),
+	}
+}
+
+// StaleIgnore reports //lint:ignore directives that no longer neutralise
+// any finding. A stale directive is worse than noise: it documents an
+// invariant violation that no longer exists, and it keeps suppressing the
+// analyzer on that line, masking the next real finding that lands there.
+// The check is engine-level (it needs the full diagnostic set after
+// suppression matching), so this Analyzer is a registration stub: it makes
+// the check listable, filterable and itself suppressible like any other.
+func StaleIgnore() *Analyzer {
+	return &Analyzer{
+		Name:  "staleignore",
+		Doc:   "//lint:ignore directive that suppresses no finding",
+		Tests: true,
+		Run:   func(*Pass) {},
 	}
 }
 
@@ -142,13 +171,41 @@ type engine struct {
 	moduleDir string
 	fset      *token.FileSet
 	diags     []Diagnostic
-	// suppress maps file → line → analyzer names suppressed on that line.
-	suppress map[string]map[int][]string
+	// active is the set of analyzer names in this run; staleness is only
+	// judged for directives naming analyzers that actually ran.
+	active map[string]bool
+	// suppress maps file → line → the directive entries covering that line.
+	suppress map[string]map[int][]suppEntry
+	// directives records every well-formed //lint:ignore for staleness
+	// accounting.
+	directives []*directive
 }
 
+// directive is one //lint:ignore comment.
+type directive struct {
+	file      string
+	line, col int
+	names     []string
+	// used records, per analyzer name, whether the directive suppressed at
+	// least one diagnostic.
+	used map[string]bool
+}
+
+// suppEntry ties one suppressing name on one line back to its directive.
+type suppEntry struct {
+	name string
+	dir  *directive
+}
+
+// relPath rewrites an absolute position filename to a module-root-relative,
+// slash-separated path, so diagnostics are stable however the module root
+// was spelled on the command line (relative -C, trailing separators, or an
+// invocation from a subdirectory). Files outside the module keep their
+// absolute path.
 func (e *engine) relPath(abs string) string {
-	if rel := strings.TrimPrefix(abs, e.moduleDir); rel != abs {
-		return strings.TrimPrefix(rel, "/")
+	if rel, err := filepath.Rel(e.moduleDir, abs); err == nil &&
+		rel != ".." && !strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return filepath.ToSlash(rel)
 	}
 	return abs
 }
@@ -164,7 +221,9 @@ var analyzerNames = func() map[string]bool {
 }()
 
 // scanSuppressions records every //lint:ignore directive of f. A directive
-// suppresses matching diagnostics on its own line and on the first source
+// suppresses matching diagnostics on its own line, on the next line when
+// that line is still inside the same comment group (so stacked directives
+// can suppress each other's staleignore findings), and on the first source
 // line after its comment group (so it works both as a trailing comment and
 // as the last line of a doc comment).
 func (e *engine) scanSuppressions(f *ast.File) {
@@ -198,12 +257,39 @@ func (e *engine) scanSuppressions(f *ast.File) {
 			if len(parsed) == 0 {
 				continue
 			}
+			dir := &directive{
+				file: file, line: pos.Line, col: pos.Column,
+				names: parsed, used: make(map[string]bool),
+			}
+			// Malformed directives are already reported by badignore; they
+			// still suppress their well-formed names but are exempt from
+			// staleness, so a half-bad directive yields one finding, not two.
+			if !bad {
+				e.directives = append(e.directives, dir)
+			}
 			if e.suppress[file] == nil {
-				e.suppress[file] = make(map[int][]string)
+				e.suppress[file] = make(map[int][]suppEntry)
 			}
-			for _, line := range []int{pos.Line, endLine + 1} {
-				e.suppress[file][line] = append(e.suppress[file][line], parsed...)
+			lines := []int{pos.Line, endLine + 1}
+			if pos.Line+1 <= endLine {
+				lines = append(lines, pos.Line+1)
 			}
+			for _, line := range lines {
+				for _, name := range parsed {
+					e.suppress[file][line] = append(e.suppress[file][line], suppEntry{name: name, dir: dir})
+				}
+			}
+		}
+	}
+}
+
+// suppressDiag marks d suppressed when an ignore directive covers it, and
+// records the use on the directive.
+func (e *engine) suppressDiag(d *Diagnostic) {
+	for _, ent := range e.suppress[d.File][d.Line] {
+		if ent.name == d.Analyzer {
+			d.Suppressed = true
+			ent.dir.used[ent.name] = true
 		}
 	}
 }
@@ -211,12 +297,44 @@ func (e *engine) scanSuppressions(f *ast.File) {
 // applySuppressions marks diagnostics matched by an ignore directive.
 func (e *engine) applySuppressions() {
 	for i := range e.diags {
-		d := &e.diags[i]
-		for _, name := range e.suppress[d.File][d.Line] {
-			if name == d.Analyzer {
-				d.Suppressed = true
-				break
+		e.suppressDiag(&e.diags[i])
+	}
+}
+
+// reportStale emits staleignore findings for directives that suppressed
+// nothing. Phase one covers ordinary analyzer names; the findings are then
+// matched against ignore-staleignore directives, so a deliberately pinned
+// stale directive can itself be suppressed. Phase two reports
+// ignore-staleignore directives that in turn matched nothing.
+func (e *engine) reportStale() {
+	if !e.active["staleignore"] {
+		return
+	}
+	stale := func(dir *directive, name string) Diagnostic {
+		return Diagnostic{
+			Analyzer: "staleignore",
+			File:     dir.file, Line: dir.line, Col: dir.col,
+			Message: fmt.Sprintf("stale //lint:ignore: no rentlint/%s finding is suppressed here any more", name),
+		}
+	}
+	for _, dir := range e.directives {
+		for _, name := range dir.names {
+			if name == "staleignore" || !e.active[name] || dir.used[name] {
+				continue
 			}
+			d := stale(dir, name)
+			e.suppressDiag(&d)
+			e.diags = append(e.diags, d)
+		}
+	}
+	for _, dir := range e.directives {
+		for _, name := range dir.names {
+			if name != "staleignore" || dir.used[name] {
+				continue
+			}
+			d := stale(dir, name)
+			e.suppressDiag(&d)
+			e.diags = append(e.diags, d)
 		}
 	}
 }

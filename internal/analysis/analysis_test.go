@@ -102,10 +102,11 @@ func TestAnalyzersOnCorpus(t *testing.T) {
 	}
 }
 
-// TestEveryAnalyzerCovered guards the corpus itself: each analyzer of the
-// suite (plus badignore) must contribute at least one unsuppressed and —
-// for the six real analyzers — one suppressed finding, so a silently
-// broken analyzer cannot pass as a wall of true negatives.
+// TestEveryAnalyzerCovered guards the corpus itself: every analyzer of the
+// suite (plus badignore) must contribute at least one unsuppressed and one
+// suppressed finding, so a silently broken analyzer cannot pass as a wall
+// of true negatives. The guard extends automatically to analyzers added to
+// All().
 func TestEveryAnalyzerCovered(t *testing.T) {
 	res := corpusResult(t)
 	live := make(map[string]bool)
@@ -127,6 +128,70 @@ func TestEveryAnalyzerCovered(t *testing.T) {
 	}
 	if !live["badignore"] {
 		t.Error("corpus has no badignore finding")
+	}
+}
+
+// TestStatusFlowPrecision pins the precision gap between the syntactic
+// checkedstatus and the path-sensitive statusflow in both directions, on
+// the fixture pair in internal/app/statusflow.go: the early-return payload
+// read is a statusflow-only finding (checkedstatus sees a `.Status` later
+// in the function and accepts it), and the method-guarded payload is a
+// checkedstatus-only finding (statusflow sees the method call as a check on
+// every path). If either analyzer's behavior drifts toward the other's
+// blind spot, this fails before the marker diff does.
+func TestStatusFlowPrecision(t *testing.T) {
+	res := corpusResult(t)
+	const file = "internal/app/statusflow.go"
+	byAnalyzer := make(map[string][]int)
+	for _, d := range res.Diagnostics {
+		if d.File == file && !d.Suppressed {
+			byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], d.Line)
+		}
+	}
+	if len(byAnalyzer["statusflow"]) < 2 {
+		t.Errorf("statusflow found %d findings in %s, want at least the early-return and re-arm reads", len(byAnalyzer["statusflow"]), file)
+	}
+	if n := len(byAnalyzer["checkedstatus"]); n != 1 {
+		t.Errorf("checkedstatus found %d findings in %s, want exactly the method-guarded false positive", n, file)
+	}
+	for _, sfLine := range byAnalyzer["statusflow"] {
+		for _, csLine := range byAnalyzer["checkedstatus"] {
+			if sfLine == csLine {
+				t.Errorf("statusflow and checkedstatus overlap at %s:%d; the fixtures no longer pin a precision gap", file, sfLine)
+			}
+		}
+	}
+}
+
+// TestParseErrorSurfaced pins the loader contract that a file that fails to
+// parse lands in Result.Errors instead of silently shrinking the analyzed
+// set.
+func TestParseErrorSurfaced(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module example.com/broken\n\ngo 1.24\n")
+	write("ok.go", "package broken\n\nfunc ok() {}\n")
+	write("broken.go", "package broken\n\nfunc oops( {\n")
+	res, err := Run(dir, nil, All())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Errors) == 0 {
+		t.Fatal("a syntax error in the module produced no Result.Errors")
+	}
+	found := false
+	for _, e := range res.Errors {
+		if strings.Contains(e.Error(), "broken.go") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Result.Errors %v does not name broken.go", res.Errors)
 	}
 }
 

@@ -1,0 +1,287 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"rentplan/internal/analysis/flow"
+)
+
+// CtxFlow guards the cancellation plumbing of the solver stack: a function
+// that receives a context.Context must thread *that* context (or one
+// derived from it via the context package) into every lp/mip solver entry
+// point it calls. Calling the context-blind variant (lp.Solve where
+// lp.SolveCtx exists), or passing context.Background()/context.TODO()
+// instead of the caller's ctx, silently detaches the solve from the
+// deadline and cancellation the caller arranged — exactly the bug class
+// the PR-4 deadline ladder exists to prevent.
+//
+// The analyzer is flow-sensitive: a context variable that is rebound to
+// context.Background() on one branch is reported at the call site it may
+// reach, while rebinding it back to a derived context retires the taint on
+// that path. Scope is intraprocedural; contexts stored in struct fields are
+// assumed derived (the storing site is the place to check).
+func CtxFlow() *Analyzer {
+	a := &Analyzer{
+		Name: "ctxflow",
+		Doc:  "caller's ctx dropped or replaced on its way into a Solve entry point",
+	}
+	a.Run = func(p *Pass) {
+		for _, f := range p.Files {
+			eachFuncBody(f, func(ftype *ast.FuncType, body *ast.BlockStmt) {
+				ctxFlowFunc(p, ftype, body)
+			})
+		}
+	}
+	return a
+}
+
+// ctxVariant maps each context-blind solver entry point to its
+// context-threading replacement.
+var ctxVariant = map[string]string{
+	"Solve":            "SolveCtx",
+	"SolveWithOptions": "SolveCtx",
+	"SolveFrom":        "SolveFromCtx",
+}
+
+func isContextType(t types.Type) bool {
+	return t != nil && t.String() == "context.Context"
+}
+
+// foreignSet is the may-analysis fact: context variables that, on some path
+// into this point, hold a context not derived from the caller's parameter.
+type foreignSet map[types.Object]bool
+
+func (s foreignSet) Equal(o flow.Fact) bool {
+	t := o.(foreignSet)
+	if len(s) != len(t) {
+		return false
+	}
+	for k := range s {
+		if !t[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s foreignSet) clone() foreignSet {
+	c := make(foreignSet, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func unionForeign(a, b flow.Fact) flow.Fact {
+	x, y := a.(foreignSet), b.(foreignSet)
+	out := make(foreignSet, len(x)+len(y))
+	for k := range x {
+		out[k] = true
+	}
+	for k := range y {
+		out[k] = true
+	}
+	return out
+}
+
+type ctxClass int8
+
+const (
+	ctxUnknown ctxClass = iota
+	ctxDerived
+	ctxForeign
+)
+
+func ctxFlowFunc(p *Pass, ftype *ast.FuncType, body *ast.BlockStmt) {
+	// Scope: only functions that receive a context parameter.
+	params := make(map[types.Object]bool)
+	hasCtxParam := false
+	if ftype.Params != nil {
+		for _, fld := range ftype.Params.List {
+			if !isContextType(p.TypeOf(fld.Type)) {
+				continue
+			}
+			hasCtxParam = true
+			for _, name := range fld.Names {
+				if obj := p.Info.Defs[name]; obj != nil {
+					params[obj] = true
+				}
+			}
+		}
+	}
+	if !hasCtxParam {
+		return
+	}
+
+	// Skip the CFG entirely when the body calls no solver entry point.
+	anySolve := false
+	inspectShallow(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && solveCallName(p, call) != "" {
+			anySolve = true
+		}
+		return !anySolve
+	})
+	if !anySolve {
+		return
+	}
+
+	cf := &ctxFlowPass{p: p, params: params}
+	g := flow.New(body)
+	in, _ := flow.Forward(g, flow.Analysis{
+		Entry: make(foreignSet),
+		Join:  unionForeign,
+		Transfer: func(b *flow.Block, f flow.Fact) flow.Fact {
+			set := f.(foreignSet).clone()
+			for _, n := range b.Nodes {
+				cf.step(n, set, false)
+			}
+			return set
+		},
+	})
+	for _, b := range g.Reachable() {
+		f, ok := in[b]
+		if !ok {
+			continue
+		}
+		set := f.(foreignSet).clone()
+		for _, n := range b.Nodes {
+			cf.step(n, set, true)
+		}
+	}
+}
+
+type ctxFlowPass struct {
+	p      *Pass
+	params map[types.Object]bool
+}
+
+// step folds one CFG node: report solver call sites against the current
+// taint set, then apply this node's context rebindings.
+func (cf *ctxFlowPass) step(n ast.Node, set foreignSet, report bool) {
+	for _, root := range blockExprs(n) {
+		if report {
+			cf.reportCalls(root, set)
+		}
+		cf.applyAssigns(root, set)
+	}
+}
+
+func (cf *ctxFlowPass) reportCalls(root ast.Node, set foreignSet) {
+	p := cf.p
+	inspectShallow(root, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := solveCallName(p, call)
+		if name == "" {
+			return true
+		}
+		short := name[strings.IndexByte(name, '.')+1:]
+		if repl, blind := ctxVariant[short]; blind {
+			pkg := name[:strings.IndexByte(name, '.')]
+			p.Reportf(call.Pos(), "calls %s from a function that receives a ctx: the context never reaches the solver (use %s.%s(ctx, ...))", name, pkg, repl)
+			return true
+		}
+		if len(call.Args) == 0 {
+			return true
+		}
+		switch cf.classify(call.Args[0], set) {
+		case ctxForeign:
+			p.Reportf(call.Args[0].Pos(), "passes a context not derived from the caller's ctx to %s on some path (thread the ctx parameter through)", name)
+		}
+		return true
+	})
+}
+
+func (cf *ctxFlowPass) applyAssigns(root ast.Node, set foreignSet) {
+	p := cf.p
+	inspectShallow(root, func(m ast.Node) bool {
+		asg, ok := m.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, l := range asg.Lhs {
+			id, ok := l.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := p.Info.Defs[id]
+			if obj == nil {
+				obj = p.Info.Uses[id]
+			}
+			if obj == nil || !isContextType(obj.Type()) {
+				continue
+			}
+			var rhs ast.Expr
+			if len(asg.Rhs) == len(asg.Lhs) {
+				rhs = asg.Rhs[i]
+			} else if len(asg.Rhs) == 1 {
+				rhs = asg.Rhs[0] // ctx, cancel := context.WithTimeout(...)
+			}
+			if rhs != nil && cf.classify(rhs, set) == ctxForeign {
+				set[obj] = true
+			} else {
+				delete(set, obj)
+			}
+		}
+		return true
+	})
+}
+
+// classify decides whether an expression yields a context derived from the
+// caller's parameter, a definitely-foreign one, or something the analysis
+// cannot pin down (fields, channel receives, plain calls — all treated as
+// derived to keep reports definite).
+func (cf *ctxFlowPass) classify(e ast.Expr, set foreignSet) ctxClass {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := cf.p.Info.Uses[e]
+		if obj == nil {
+			return ctxUnknown
+		}
+		switch {
+		case set[obj]:
+			return ctxForeign
+		case cf.params[obj]:
+			return ctxDerived
+		}
+		return ctxUnknown
+	case *ast.ParenExpr:
+		return cf.classify(e.X, set)
+	case *ast.CallExpr:
+		if isBackgroundCall(cf.p, e) {
+			return ctxForeign
+		}
+		// A call mixing contexts (context.WithTimeout(ctx, d)) takes the
+		// class of its context arguments: derived wins over foreign so that
+		// merging a foreign value into a derived chain stays quiet.
+		class := ctxUnknown
+		for _, arg := range e.Args {
+			switch cf.classify(arg, set) {
+			case ctxDerived:
+				return ctxDerived
+			case ctxForeign:
+				class = ctxForeign
+			}
+		}
+		return class
+	}
+	return ctxUnknown
+}
+
+// isBackgroundCall reports whether e is context.Background() or
+// context.TODO().
+func isBackgroundCall(p *Pass, e *ast.CallExpr) bool {
+	sel, ok := e.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return false
+	}
+	return fn.Name() == "Background" || fn.Name() == "TODO"
+}

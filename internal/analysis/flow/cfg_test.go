@@ -1,0 +1,503 @@
+package flow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildCFG parses one function body and returns its graph.
+func buildCFG(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	fn := file.Decls[0].(*ast.FuncDecl)
+	return New(fn.Body)
+}
+
+// kinds returns the Kind of every reachable block in DFS preorder.
+func kinds(g *Graph) []string {
+	var out []string
+	for _, b := range g.Reachable() {
+		out = append(out, b.Kind)
+	}
+	return out
+}
+
+// succKinds maps each reachable block kind to its successor kinds, for
+// edge-shape assertions independent of block indices.
+func succKinds(g *Graph) map[string][]string {
+	m := make(map[string][]string)
+	for _, b := range g.Reachable() {
+		key := fmt.Sprintf("%s#%d", b.Kind, b.Index)
+		for _, s := range b.Succs {
+			m[key] = append(m[key], s.Kind)
+		}
+	}
+	return m
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	g := buildCFG(t, "x := 1\n_ = x\nreturn")
+	got := kinds(g)
+	want := []string{"entry", "exit"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("reachable kinds = %v, want %v", got, want)
+	}
+	if len(g.Entry.Nodes) != 3 {
+		t.Errorf("entry holds %d nodes, want 3", len(g.Entry.Nodes))
+	}
+}
+
+func TestCFGIfElseJoin(t *testing.T) {
+	g := buildCFG(t, "if x := 1; x > 0 {\n_ = x\n} else {\n_ = -x\n}\n_ = 2")
+	sk := succKinds(g)
+	entry := "entry#0"
+	if got := sk[entry]; len(got) != 2 || got[0] != "if.then" || got[1] != "if.else" {
+		t.Fatalf("entry succs = %v, want [if.then if.else]", got)
+	}
+	// Both arms must converge on the join, which reaches exit.
+	joins := 0
+	for k, succs := range sk {
+		if strings.HasPrefix(k, "if.then") || strings.HasPrefix(k, "if.else") {
+			if len(succs) != 1 || succs[0] != "if.join" {
+				t.Errorf("%s succs = %v, want [if.join]", k, succs)
+			}
+			joins++
+		}
+	}
+	if joins != 2 {
+		t.Errorf("saw %d arms, want 2", joins)
+	}
+}
+
+func TestCFGIfWithoutElse(t *testing.T) {
+	g := buildCFG(t, "if cond {\nwork()\n}\ndone()")
+	// The false edge must skip the body: entry → {if.then, if.join}.
+	var entry *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "entry" {
+			entry = b
+		}
+	}
+	var gotKinds []string
+	for _, s := range entry.Succs {
+		gotKinds = append(gotKinds, s.Kind)
+	}
+	if len(gotKinds) != 2 || gotKinds[0] != "if.then" || gotKinds[1] != "if.join" {
+		t.Fatalf("entry succs = %v, want [if.then if.join]", gotKinds)
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	g := buildCFG(t, "for i := 0; i < 3; i++ {\nwork(i)\n}\ndone()")
+	sk := succKinds(g)
+	// head branches to after (cond false) and body; body → post → head.
+	var headKey string
+	for k := range sk {
+		if strings.HasPrefix(k, "for.head") {
+			headKey = k
+		}
+	}
+	if headKey == "" {
+		t.Fatal("no for.head block reachable")
+	}
+	got := sk[headKey]
+	if len(got) != 2 || got[0] != "for.after" || got[1] != "for.body" {
+		t.Fatalf("for.head succs = %v, want [for.after for.body]", got)
+	}
+	for k, succs := range sk {
+		if strings.HasPrefix(k, "for.body") {
+			if len(succs) != 1 || succs[0] != "for.post" {
+				t.Errorf("for.body succs = %v, want [for.post]", succs)
+			}
+		}
+		if strings.HasPrefix(k, "for.post") {
+			if len(succs) != 1 || succs[0] != "for.head" {
+				t.Errorf("for.post succs = %v, want [for.head]", succs)
+			}
+		}
+	}
+}
+
+func TestCFGInfiniteLoopUnreachableAfter(t *testing.T) {
+	g := buildCFG(t, "for {\nwork()\n}\ndone()")
+	for _, b := range g.Reachable() {
+		if b.Kind == "for.after" {
+			t.Error("for.after of an unbroken infinite loop must be unreachable")
+		}
+		if b == g.Exit {
+			t.Error("exit must be unreachable past an unbroken infinite loop")
+		}
+	}
+	// The dead tail still exists in Blocks for position lookups.
+	found := false
+	for _, b := range g.Blocks {
+		if b.Kind == "for.after" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("for.after block missing from Blocks")
+	}
+}
+
+func TestCFGBreakContinue(t *testing.T) {
+	g := buildCFG(t, `for i := 0; i < 9; i++ {
+		if skip(i) {
+			continue
+		}
+		if stop(i) {
+			break
+		}
+		work(i)
+	}
+	done()`)
+	// continue must edge to for.post, break to for.after.
+	var post, after *Block
+	for _, b := range g.Blocks {
+		switch b.Kind {
+		case "for.post":
+			post = b
+		case "for.after":
+			after = b
+		}
+	}
+	hasPredKind := func(b *Block, kind string) bool {
+		for _, p := range b.Preds {
+			if p.Kind == kind {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasPredKind(post, "if.then") {
+		t.Error("continue edge into for.post missing")
+	}
+	if !hasPredKind(after, "if.then") {
+		t.Error("break edge into for.after missing")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	g := buildCFG(t, `outer:
+	for i := range xs {
+		for j := range ys {
+			if bad(i, j) {
+				break outer
+			}
+		}
+	}
+	done()`)
+	// The labeled break must land on the OUTER loop's after block, i.e. the
+	// block holding done() must have an if.then predecessor.
+	var target *Block
+	for _, b := range g.Reachable() {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "done" {
+						target = b
+					}
+				}
+			}
+		}
+	}
+	if target == nil {
+		t.Fatal("done() block not reachable")
+	}
+	found := false
+	for _, p := range target.Preds {
+		if p.Kind == "if.then" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("break outer does not reach the outer after block (preds: %v)", kindsOf(target.Preds))
+	}
+}
+
+func kindsOf(bs []*Block) []string {
+	var out []string
+	for _, b := range bs {
+		out = append(out, b.Kind)
+	}
+	return out
+}
+
+func TestCFGSwitch(t *testing.T) {
+	g := buildCFG(t, `switch x {
+	case 1:
+		one()
+	case 2:
+		two()
+		fallthrough
+	case 3:
+		three()
+	}
+	done()`)
+	sk := succKinds(g)
+	var entryKey string
+	for k := range sk {
+		if strings.HasPrefix(k, "entry") {
+			entryKey = k
+		}
+	}
+	got := sk[entryKey]
+	// Three cases plus the no-default escape edge.
+	if len(got) != 4 {
+		t.Fatalf("switch head succs = %v, want 3 cases + switch.after", got)
+	}
+	cases, afters := 0, 0
+	for _, k := range got {
+		switch k {
+		case "switch.case":
+			cases++
+		case "switch.after":
+			afters++
+		}
+	}
+	if cases != 3 || afters != 1 {
+		t.Fatalf("switch head succs = %v, want [case case case after]", got)
+	}
+	// One case must fall through into another case block.
+	fallthroughs := 0
+	for k, succs := range sk {
+		if !strings.HasPrefix(k, "switch.case") {
+			continue
+		}
+		for _, s := range succs {
+			if s == "switch.case" {
+				fallthroughs++
+			}
+		}
+	}
+	if fallthroughs != 1 {
+		t.Errorf("fallthrough edges = %d, want 1", fallthroughs)
+	}
+}
+
+func TestCFGSwitchWithDefault(t *testing.T) {
+	g := buildCFG(t, `switch x {
+	case 1:
+		one()
+	default:
+		other()
+	}
+	done()`)
+	var entry *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "entry" {
+			entry = b
+		}
+	}
+	for _, s := range entry.Succs {
+		if s.Kind == "switch.after" {
+			t.Error("switch with default must not edge head → after directly")
+		}
+	}
+}
+
+func TestCFGTypeSwitch(t *testing.T) {
+	g := buildCFG(t, `switch v := x.(type) {
+	case int:
+		use(v)
+	default:
+		other(v)
+	}
+	done()`)
+	cases := 0
+	for _, b := range g.Reachable() {
+		if b.Kind == "switch.case" {
+			cases++
+		}
+	}
+	if cases != 2 {
+		t.Errorf("type switch reachable case blocks = %d, want 2", cases)
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	g := buildCFG(t, `select {
+	case v := <-ch:
+		use(v)
+	case out <- 1:
+		sent()
+	}
+	done()`)
+	comms := 0
+	for _, b := range g.Reachable() {
+		if b.Kind == "select.comm" {
+			comms++
+		}
+	}
+	if comms != 2 {
+		t.Errorf("select comm blocks = %d, want 2", comms)
+	}
+	// No default: the only paths to select.after run through a comm clause.
+	for _, b := range g.Reachable() {
+		if b.Kind == "select.after" {
+			for _, p := range b.Preds {
+				if p.Kind == "entry" {
+					t.Error("select without default must not edge head → after")
+				}
+			}
+		}
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	g := buildCFG(t, `i := 0
+loop:
+	if i < 3 {
+		i++
+		goto loop
+	}
+	done()`)
+	// The goto must form a back edge into the label block.
+	var label *Block
+	for _, b := range g.Blocks {
+		if strings.HasPrefix(b.Kind, "label.loop") {
+			label = b
+		}
+	}
+	if label == nil {
+		t.Fatal("no label.loop block")
+	}
+	backEdge := false
+	for _, p := range label.Preds {
+		if p.Kind == "if.then" {
+			backEdge = true
+		}
+	}
+	if !backEdge {
+		t.Errorf("goto loop back edge missing (label preds: %v)", kindsOf(label.Preds))
+	}
+}
+
+func TestCFGUnreachableAfterReturn(t *testing.T) {
+	g := buildCFG(t, "return\nwork()")
+	for _, b := range g.Reachable() {
+		if b.Kind == "dead" {
+			t.Error("statements after return must be unreachable")
+		}
+	}
+	dead := false
+	for _, b := range g.Blocks {
+		if b.Kind == "dead" && len(b.Preds) == 0 {
+			dead = true
+		}
+	}
+	if !dead {
+		t.Error("dead block for post-return code missing from Blocks")
+	}
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	g := buildCFG(t, `if bad {
+		panic("boom")
+	}
+	done()`)
+	// The panicking then-arm must edge to exit, not the join.
+	for _, b := range g.Reachable() {
+		if b.Kind != "if.then" {
+			continue
+		}
+		if len(b.Succs) != 1 || b.Succs[0] != g.Exit {
+			t.Errorf("panic arm succs = %v, want [exit]", kindsOf(b.Succs))
+		}
+	}
+}
+
+func TestCFGRange(t *testing.T) {
+	g := buildCFG(t, "for _, v := range xs {\nuse(v)\n}\ndone()")
+	var head *Block
+	for _, b := range g.Reachable() {
+		if b.Kind == "range.head" {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatal("no reachable range.head")
+	}
+	var got []string
+	for _, s := range head.Succs {
+		got = append(got, s.Kind)
+	}
+	if len(got) != 2 || got[0] != "range.after" || got[1] != "range.body" {
+		t.Fatalf("range.head succs = %v, want [range.after range.body]", got)
+	}
+	loop := false
+	for _, p := range head.Preds {
+		if p.Kind == "range.body" {
+			loop = true
+		}
+	}
+	if !loop {
+		t.Error("range body back edge missing")
+	}
+}
+
+func TestCFGNestedFuncLitOpaque(t *testing.T) {
+	g := buildCFG(t, `f := func() {
+		for {
+		}
+	}
+	f()
+	done()`)
+	// The literal's infinite loop must not leak into the outer graph: the
+	// outer body is one straight line reaching exit.
+	got := kinds(g)
+	if len(got) != 2 || got[0] != "entry" || got[1] != "exit" {
+		t.Fatalf("reachable kinds = %v, want [entry exit]", got)
+	}
+}
+
+// TestForwardMayReach runs a tiny may-analysis (has work() been called on
+// some path?) over a branch, checking Join/Transfer wiring end to end.
+func TestForwardMayReach(t *testing.T) {
+	g := buildCFG(t, `if cond {
+		work()
+	}
+	done()`)
+	in, out := Forward(g, Analysis{
+		Entry: fact(false),
+		Join:  func(a, b Fact) Fact { return fact(bool(a.(fact)) || bool(b.(fact))) },
+		Transfer: func(b *Block, f Fact) Fact {
+			for _, n := range b.Nodes {
+				es, ok := n.(*ast.ExprStmt)
+				if !ok {
+					continue
+				}
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "work" {
+						f = fact(true)
+					}
+				}
+			}
+			return f
+		},
+	})
+	if got := out[g.Exit]; got == nil || !bool(got.(fact)) {
+		t.Errorf("exit out-fact = %v, want true (work() reachable on some path)", got)
+	}
+	// The join block merges a worked and an unworked path: may-join is true.
+	for _, b := range g.Reachable() {
+		if b.Kind == "if.join" {
+			if got := in[b]; got == nil || !bool(got.(fact)) {
+				t.Errorf("if.join in-fact = %v, want true under may-join", got)
+			}
+		}
+	}
+}
+
+func (f fact) Equal(o Fact) bool { return f == o.(fact) }
+
+type fact bool

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// eachFuncBody calls fn once for every function body in the file: every
+// declared function/method and every function literal, however nested. The
+// flow analyzers treat each body as its own intraprocedural unit, so a
+// literal's statements are analyzed exactly once (with the literal's own
+// CFG), never as part of the enclosing function's graph.
+func eachFuncBody(f *ast.File, fn func(ftype *ast.FuncType, body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				fn(n.Type, n.Body)
+			}
+		case *ast.FuncLit:
+			fn(n.Type, n.Body)
+		}
+		return true
+	})
+}
+
+// inspectShallow walks the subtree of n without descending into nested
+// function literals: their statements belong to their own flow unit. The
+// literal node itself is still visited (so analyzers can decide how a
+// capture is treated) — only its body is pruned.
+func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return true
+		}
+		if !fn(m) {
+			return false
+		}
+		if lit, ok := m.(*ast.FuncLit); ok && lit != n {
+			return false
+		}
+		return true
+	})
+}
+
+// blockExprs returns the expression/statement roots of one CFG block node
+// that belong to the block itself. Clause nodes double as markers for their
+// whole construct, whose bodies the CFG already places in separate blocks —
+// scanning the full subtree would process those statements twice.
+func blockExprs(n ast.Node) []ast.Node {
+	switch n := n.(type) {
+	case *ast.CaseClause:
+		out := make([]ast.Node, 0, len(n.List))
+		for _, e := range n.List {
+			out = append(out, e)
+		}
+		return out
+	case *ast.CommClause:
+		if n.Comm != nil {
+			return []ast.Node{n.Comm}
+		}
+		return nil
+	case *ast.SelectStmt:
+		return nil // comm clauses arrive as their own blocks
+	case *ast.RangeStmt:
+		// The head evaluates the operand; Key/Value defs are handled by the
+		// callers that care about kills.
+		if n.X != nil {
+			return []ast.Node{n.X}
+		}
+		return nil
+	default:
+		return []ast.Node{n}
+	}
+}

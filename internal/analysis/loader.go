@@ -68,11 +68,19 @@ func Run(moduleDir string, patterns []string, analyzers []*Analyzer) (*Result, e
 	eng := &engine{
 		moduleDir: moduleDir,
 		fset:      l.fset,
-		suppress:  make(map[string]map[int][]string),
+		suppress:  make(map[string]map[int][]suppEntry),
+		active:    make(map[string]bool),
+	}
+	for _, a := range analyzers {
+		eng.active[a.Name] = true
 	}
 	res := &Result{}
 	for _, rel := range dirs {
 		for _, unit := range l.unitsFor(rel) {
+			if unit.err != nil {
+				res.Errors = append(res.Errors, unit.err)
+				continue
+			}
 			if len(unit.files) == 0 {
 				continue
 			}
@@ -97,6 +105,7 @@ func Run(moduleDir string, patterns []string, analyzers []*Analyzer) (*Result, e
 		}
 	}
 	eng.applySuppressions()
+	eng.reportStale()
 	res.Diagnostics = filterPatterns(eng.diags, patterns)
 	sortDiags(res.Diagnostics)
 	return res, nil
@@ -162,6 +171,7 @@ type unit struct {
 	path  string // import path ("_test"-suffixed for external test pkgs)
 	files []*ast.File
 	test  bool
+	err   error // parse failure for the whole directory, if any
 }
 
 // packageDirs returns the module-relative directories holding Go files, in
@@ -289,8 +299,10 @@ func (l *loader) unitsFor(relDir string) []unit {
 	path := l.importPathFor(relDir)
 	lib, test, xtest, err := l.parseDir(filepath.Join(l.moduleDir, filepath.FromSlash(relDir)))
 	if err != nil {
-		// Surface the parse error through a placeholder unit check.
-		return []unit{{path: path, files: nil}}
+		// Surface the parse error through a placeholder unit: Run records
+		// unit.err in Result.Errors, so a broken file can never silently
+		// shrink the analyzed set.
+		return []unit{{path: path, err: err}}
 	}
 	var units []unit
 	units = append(units, unit{path: path, files: append(append([]*ast.File(nil), lib...), test...), test: len(test) > 0})

@@ -1,0 +1,639 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"rentplan/internal/analysis/flow"
+)
+
+// PoolEscape guards the sync.Pool scratch discipline of the LP hot path: a
+// value obtained from a Pool.Get — directly, or through a same-package
+// acquire helper that wraps one (newSimplex and friends) — must not outlive
+// the Put that returns it to the pool. Once a function releases the value
+// (pool.Put(v), v.release(), or a same-package release helper), any later
+// use of it on *any* path is a recycled-memory bug waiting for the next
+// Get; and aliases that survive the Put — stores into fields, globals or
+// containers, captures by goroutines — are the same bug with extra steps.
+//
+// Functions that Get without ever Putting transfer ownership (that is what
+// an acquire helper is), so returning the value is only flagged past a Put
+// on the same path, or when a deferred release will fire on the way out.
+// The analysis is intraprocedural with a package-level pre-scan that
+// recognises acquire and release helpers, and path-sensitivity comes from a
+// forward may-analysis ("released on some path into this point") over the
+// function CFG.
+func PoolEscape() *Analyzer {
+	a := &Analyzer{
+		Name: "poolescape",
+		Doc:  "sync.Pool value escaping or used past its Put on some path",
+	}
+	a.Run = func(p *Pass) {
+		idx := buildPoolIndex(p)
+		for _, f := range p.Files {
+			eachFuncBody(f, func(_ *ast.FuncType, body *ast.BlockStmt) {
+				poolEscapeFunc(p, idx, body)
+			})
+		}
+	}
+	return a
+}
+
+// poolIndex is the package-level pre-scan: which functions hand out pooled
+// values (acquire helpers) and which take one back (release helpers).
+type poolIndex struct {
+	// sources holds functions whose return value comes from a Pool.Get.
+	sources map[types.Object]bool
+	// releasers maps a function to the operand it returns to a pool:
+	// -1 for the method receiver, otherwise a parameter index.
+	releasers map[types.Object]int
+}
+
+// poolMethod reports whether call is (*sync.Pool).Get or Put.
+func poolMethod(p *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return ""
+	}
+	switch fn.FullName() {
+	case "(*sync.Pool).Get":
+		return "Get"
+	case "(*sync.Pool).Put":
+		return "Put"
+	}
+	return ""
+}
+
+// unwrapCall strips parens and type assertions (pool.Get().(*T)) down to
+// the underlying call, or nil.
+func unwrapCall(e ast.Expr) *ast.CallExpr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		case *ast.CallExpr:
+			return x
+		default:
+			return nil
+		}
+	}
+}
+
+// calleeObj resolves a call's target function object (plain or method).
+func calleeObj(p *Pass, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return p.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		return p.Info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+func buildPoolIndex(p *Pass) *poolIndex {
+	idx := &poolIndex{
+		sources:   make(map[types.Object]bool),
+		releasers: make(map[types.Object]int),
+	}
+	// Iterate so a helper wrapping another helper is still recognised; the
+	// chains in this module are depth ≤ 2, three rounds is already slack.
+	for round := 0; round < 3; round++ {
+		grew := false
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fnObj := p.Info.Defs[fd.Name]
+				if fnObj == nil {
+					continue
+				}
+				if !idx.sources[fnObj] && isPoolSource(p, idx, fd) {
+					idx.sources[fnObj] = true
+					grew = true
+				}
+				if _, done := idx.releasers[fnObj]; !done {
+					if op, ok := releaserOperand(p, idx, fd); ok {
+						idx.releasers[fnObj] = op
+						grew = true
+					}
+				}
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+	return idx
+}
+
+// isPoolGetLike reports whether call yields a pooled value: Pool.Get itself
+// or a known acquire helper.
+func isPoolGetLike(p *Pass, idx *poolIndex, call *ast.CallExpr) bool {
+	if poolMethod(p, call) == "Get" {
+		return true
+	}
+	obj := calleeObj(p, call)
+	return obj != nil && idx.sources[obj]
+}
+
+// isPoolSource reports whether fd returns a pooled value: it returns the
+// result of a Get (possibly via a local), making it an acquire helper.
+func isPoolSource(p *Pass, idx *poolIndex, fd *ast.FuncDecl) bool {
+	pooled := make(map[types.Object]bool)
+	source := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call := unwrapCall(n.Rhs[0])
+			if call == nil || !isPoolGetLike(p, idx, call) {
+				return true
+			}
+			if id, ok := n.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+				if obj := p.Info.Defs[id]; obj != nil {
+					pooled[obj] = true
+				} else if obj := p.Info.Uses[id]; obj != nil {
+					pooled[obj] = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if call := unwrapCall(r); call != nil && isPoolGetLike(p, idx, call) {
+					source = true
+				}
+				if id, ok := r.(*ast.Ident); ok {
+					if obj := p.Info.Uses[id]; obj != nil && pooled[obj] {
+						source = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return source
+}
+
+// releaserOperand reports whether fd returns its receiver or a parameter to
+// a pool (directly or through a known release helper), and which operand.
+func releaserOperand(p *Pass, idx *poolIndex, fd *ast.FuncDecl) (int, bool) {
+	// Operand objects: receiver first (-1), then parameters by index.
+	operand := make(map[types.Object]int)
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		if obj := p.Info.Defs[fd.Recv.List[0].Names[0]]; obj != nil {
+			operand[obj] = -1
+		}
+	}
+	i := 0
+	if fd.Type.Params != nil {
+		for _, fld := range fd.Type.Params.List {
+			for _, name := range fld.Names {
+				if obj := p.Info.Defs[name]; obj != nil {
+					operand[obj] = i
+				}
+				i++
+			}
+		}
+	}
+	op, found := 0, false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var released ast.Expr
+		if poolMethod(p, call) == "Put" && len(call.Args) == 1 {
+			released = call.Args[0]
+		} else if obj := calleeObj(p, call); obj != nil {
+			if ri, ok := idx.releasers[obj]; ok {
+				if ri == -1 {
+					if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+						released = sel.X
+					}
+				} else if ri < len(call.Args) {
+					released = call.Args[ri]
+				}
+			}
+		}
+		if id, ok := released.(*ast.Ident); ok {
+			if obj := p.Info.Uses[id]; obj != nil {
+				if o, isOp := operand[obj]; isOp {
+					op, found = o, true
+				}
+			}
+		}
+		return true
+	})
+	return op, found
+}
+
+// releasedSet is the may-analysis fact: alias groups already returned to
+// their pool on some path into this point.
+type releasedSet map[int]bool
+
+func (s releasedSet) Equal(o flow.Fact) bool {
+	t := o.(releasedSet)
+	if len(s) != len(t) {
+		return false
+	}
+	for k := range s {
+		if !t[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s releasedSet) clone() releasedSet {
+	c := make(releasedSet, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func unionReleased(a, b flow.Fact) flow.Fact {
+	x, y := a.(releasedSet), b.(releasedSet)
+	out := make(releasedSet, len(x)+len(y))
+	for k := range x {
+		out[k] = true
+	}
+	for k := range y {
+		out[k] = true
+	}
+	return out
+}
+
+// poolTrack is the per-function tracking state.
+type poolTrack struct {
+	p   *Pass
+	idx *poolIndex
+	// group assigns each tracked object (pooled value or alias of one) an
+	// alias-group id; releasing any member releases the group.
+	group map[types.Object]int
+	// defIdents are first-binding identifiers, excluded from use scans.
+	defIdents map[*ast.Ident]bool
+	// anyRelease marks groups with at least one release site anywhere in
+	// the function (path-insensitive; gates the escape rules).
+	anyRelease map[int]bool
+	// deferred marks groups released by a defer on the way out.
+	deferred map[int]bool
+	// seen dedupes report positions across the replay.
+	seen map[token.Pos]bool
+}
+
+func poolEscapeFunc(p *Pass, idx *poolIndex, body *ast.BlockStmt) {
+	t := &poolTrack{
+		p: p, idx: idx,
+		group:      make(map[types.Object]int),
+		defIdents:  make(map[*ast.Ident]bool),
+		anyRelease: make(map[int]bool),
+		deferred:   make(map[int]bool),
+	}
+
+	// Pass 1: tracked bindings (v := pool.Get().(*T) / v := newHelper())
+	// and, iterating, plain-local aliases (w := v).
+	next := 0
+	for changed := true; changed; {
+		changed = false
+		inspectShallow(body, func(n ast.Node) bool {
+			asg, ok := n.(*ast.AssignStmt)
+			if !ok || len(asg.Rhs) != len(asg.Lhs) && len(asg.Rhs) != 1 {
+				return true
+			}
+			for i, l := range asg.Lhs {
+				id, ok := l.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := p.Info.Defs[id]
+				if obj == nil {
+					obj = p.Info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if _, done := t.group[obj]; done {
+					continue
+				}
+				var rhs ast.Expr
+				if len(asg.Rhs) == len(asg.Lhs) {
+					rhs = asg.Rhs[i]
+				} else if i == 0 {
+					rhs = asg.Rhs[0]
+				}
+				if rhs == nil {
+					continue
+				}
+				if call := unwrapCall(rhs); call != nil && isPoolGetLike(p, idx, call) {
+					t.group[obj] = next
+					next++
+					t.defIdents[id] = true
+					changed = true
+				} else if rid, ok := rhs.(*ast.Ident); ok {
+					if src := p.Info.Uses[rid]; src != nil {
+						if gid, tracked := t.group[src]; tracked {
+							t.group[obj] = gid
+							t.defIdents[id] = true
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(t.group) == 0 {
+		return
+	}
+
+	// Pass 2: release inventory (incl. deferred ones) and path-insensitive
+	// escape rules: stores and goroutine captures that outlive a Put.
+	inspectShallow(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if gid, ok := t.releaseTarget(n); ok {
+				t.anyRelease[gid] = true
+			}
+		case *ast.DeferStmt:
+			if gid, ok := t.releaseTarget(n.Call); ok {
+				t.deferred[gid] = true
+				t.anyRelease[gid] = true
+			}
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						if gid, ok := t.releaseTarget(call); ok {
+							t.deferred[gid] = true
+							t.anyRelease[gid] = true
+						}
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+
+	inspectShallow(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			t.checkStores(n)
+		case *ast.SendStmt:
+			if gid, ok := t.trackedIdent(n.Value); ok && t.anyRelease[gid] {
+				p.Reportf(n.Value.Pos(), "pooled value sent on a channel while this function also returns it to its pool")
+			}
+		case *ast.GoStmt:
+			t.checkGoCapture(n)
+		}
+		return true
+	})
+
+	// Pass 3: flow — uses and returns past the Put on some path.
+	g := flow.New(body)
+	in, _ := flow.Forward(g, flow.Analysis{
+		Entry: make(releasedSet),
+		Join:  unionReleased,
+		Transfer: func(b *flow.Block, f flow.Fact) flow.Fact {
+			set := f.(releasedSet).clone()
+			for _, n := range b.Nodes {
+				t.step(n, set, false)
+			}
+			return set
+		},
+	})
+	seen := make(map[token.Pos]bool)
+	t.seen = seen
+	for _, b := range g.Reachable() {
+		f, ok := in[b]
+		if !ok {
+			continue
+		}
+		set := f.(releasedSet).clone()
+		for _, n := range b.Nodes {
+			t.step(n, set, true)
+		}
+	}
+}
+
+// trackedIdent resolves a bare identifier expression to its alias group.
+func (t *poolTrack) trackedIdent(e ast.Expr) (int, bool) {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return 0, false
+	}
+	obj := t.p.Info.Uses[id]
+	if obj == nil {
+		return 0, false
+	}
+	gid, ok := t.group[obj]
+	return gid, ok
+}
+
+// releaseTarget reports whether call returns a tracked value to its pool
+// and which group.
+func (t *poolTrack) releaseTarget(call *ast.CallExpr) (int, bool) {
+	if poolMethod(t.p, call) == "Put" && len(call.Args) == 1 {
+		return t.trackedIdent(call.Args[0])
+	}
+	obj := calleeObj(t.p, call)
+	if obj == nil {
+		return 0, false
+	}
+	ri, ok := t.idx.releasers[obj]
+	if !ok {
+		return 0, false
+	}
+	if ri == -1 {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			return t.trackedIdent(sel.X)
+		}
+		return 0, false
+	}
+	if ri < len(call.Args) {
+		return t.trackedIdent(call.Args[ri])
+	}
+	return 0, false
+}
+
+// checkStores flags assignments that give a pooled value a home that
+// outlives the Put: fields, globals, containers, dereferenced pointers.
+// Plain local aliases are tracked, not flagged.
+func (t *poolTrack) checkStores(asg *ast.AssignStmt) {
+	for i, r := range asg.Rhs {
+		gid, ok := t.trackedIdent(r)
+		if !ok || !t.anyRelease[gid] || i >= len(asg.Lhs) {
+			continue
+		}
+		switch l := asg.Lhs[i].(type) {
+		case *ast.Ident:
+			obj := t.p.Info.Uses[l]
+			if obj == nil {
+				obj = t.p.Info.Defs[l]
+			}
+			if obj != nil && obj.Parent() == t.p.Pkg.Scope() {
+				t.p.Reportf(r.Pos(), "pooled value stored in package-level %s while this function also returns it to its pool", l.Name)
+			}
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			t.p.Reportf(r.Pos(), "pooled value stored outside the function while this function also returns it to its pool")
+		}
+	}
+}
+
+// checkGoCapture flags goroutines that receive a pooled value which the
+// spawning function also releases: the goroutine races the recycled reuse.
+func (t *poolTrack) checkGoCapture(g *ast.GoStmt) {
+	flag := func(pos token.Pos) {
+		t.p.Reportf(pos, "pooled value captured by a goroutine while this function also returns it to its pool")
+	}
+	for _, arg := range g.Call.Args {
+		if gid, ok := t.trackedIdent(arg); ok && t.anyRelease[gid] {
+			flag(arg.Pos())
+			return
+		}
+	}
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		reported := false
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if reported {
+				return false
+			}
+			id, ok := m.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := t.p.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if gid, tracked := t.group[obj]; tracked && t.anyRelease[gid] {
+				flag(id.Pos())
+				reported = true
+			}
+			return true
+		})
+	}
+}
+
+// step folds one CFG node into the released set; when report is true it
+// first flags uses and returns that happen past a release on this path.
+func (t *poolTrack) step(n ast.Node, set releasedSet, report bool) {
+	if report {
+		t.reportUses(n, set)
+	}
+	// Apply releases, then re-acquisition kills.
+	for _, root := range blockExprs(n) {
+		inspectShallow(root, func(m ast.Node) bool {
+			if _, isDefer := m.(*ast.DeferStmt); isDefer {
+				return false // deferred releases fire at exit, not here
+			}
+			if call, ok := m.(*ast.CallExpr); ok {
+				if gid, ok := t.releaseTarget(call); ok {
+					set[gid] = true
+				}
+			}
+			return true
+		})
+	}
+	if asg, ok := n.(*ast.AssignStmt); ok {
+		for i, l := range asg.Lhs {
+			id, ok := l.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := t.p.Info.Defs[id]
+			if obj == nil {
+				obj = t.p.Info.Uses[id]
+			}
+			gid, tracked := t.group[obj]
+			if !tracked {
+				continue
+			}
+			var rhs ast.Expr
+			if len(asg.Rhs) == len(asg.Lhs) {
+				rhs = asg.Rhs[i]
+			} else if i == 0 && len(asg.Rhs) == 1 {
+				rhs = asg.Rhs[0]
+			}
+			if rhs == nil {
+				continue
+			}
+			if call := unwrapCall(rhs); call != nil && isPoolGetLike(t.p, t.idx, call) {
+				delete(set, gid) // fresh object from the pool re-arms
+			}
+		}
+	}
+}
+
+func (t *poolTrack) reportUses(n ast.Node, set releasedSet) {
+	p := t.p
+	for _, root := range blockExprs(n) {
+		if ret, ok := root.(*ast.ReturnStmt); ok {
+			for _, r := range ret.Results {
+				gid, ok := t.trackedIdent(r)
+				if !ok {
+					continue
+				}
+				switch {
+				case set[gid]:
+					t.reportOnce(r.Pos(), "pooled value returned after being returned to its pool on this path")
+				case t.deferred[gid]:
+					t.reportOnce(r.Pos(), "pooled value returned while a deferred call returns it to its pool")
+				}
+			}
+		}
+		walkStack(root, func(m ast.Node, stack []ast.Node) bool {
+			if _, isDefer := m.(*ast.DeferStmt); isDefer {
+				return false
+			}
+			if lit, ok := m.(*ast.FuncLit); ok && lit != root {
+				return false // closure captures handled path-insensitively
+			}
+			id, ok := m.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if t.defIdents[id] {
+				return true
+			}
+			// Skip plain assignment targets: writing v = ... is a rebind,
+			// not a use of the pooled memory.
+			if len(stack) > 0 {
+				if asg, ok := stack[len(stack)-1].(*ast.AssignStmt); ok {
+					for _, l := range asg.Lhs {
+						if l == m {
+							return true
+						}
+					}
+					_ = asg
+				}
+			}
+			obj := p.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if gid, tracked := t.group[obj]; tracked && set[gid] {
+				t.reportOnce(id.Pos(), "pooled value used after being returned to its pool on some path")
+			}
+			return true
+		})
+	}
+}
+
+func (t *poolTrack) reportOnce(pos token.Pos, msg string) {
+	if t.seen[pos] {
+		return
+	}
+	t.seen[pos] = true
+	t.p.Reportf(pos, "%s", msg)
+}

@@ -1,0 +1,323 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"rentplan/internal/analysis/flow"
+)
+
+// StatusFlow is the path-sensitive companion of checkedstatus: a Solution
+// obtained from an lp/mip solver entry point must have its Status examined
+// on *every* control-flow path before the solution payload (X, Obj, Basis)
+// is consumed. The syntactic checkedstatus analyzer accepts a function as
+// soon as `.Status` appears anywhere in it, which misses early returns that
+// read the payload before the check; and it flags functions that guard the
+// payload through a Solution method, which a flow analysis can see is a
+// legitimate guarded branch. statusflow closes both gaps by running a
+// forward must-analysis ("Status checked on all paths into this block")
+// over the function's CFG.
+//
+// Check events, per path: reading `.Status`, calling any method on the
+// solution, or using the solution bare (returning it, passing it along,
+// comparing it to nil) — the latter two hand the value to code that can
+// perform the check. Reassigning the variable from another solver call
+// re-arms the analysis; reassigning it from anything else retires it.
+// Solutions captured by nested function literals are skipped (closure
+// execution order is not modeled).
+func StatusFlow() *Analyzer {
+	a := &Analyzer{
+		Name: "statusflow",
+		Doc:  "Solution payload read on a path where Status is unchecked",
+	}
+	a.Run = func(p *Pass) {
+		for _, f := range p.Files {
+			eachFuncBody(f, func(_ *ast.FuncType, body *ast.BlockStmt) {
+				statusFlowFunc(p, body)
+			})
+		}
+	}
+	return a
+}
+
+// payloadFields are the Solution fields whose consumption requires a prior
+// status check on every path. Telemetry fields (iteration counters, Stats)
+// are deliberately excluded: they are meaningful whatever the status.
+var payloadFields = map[string]bool{"X": true, "Obj": true, "Basis": true}
+
+// solVar is one tracked solution binding.
+type solVar struct {
+	call string // "lp.Solve"-style producer name, for messages
+}
+
+// checkedSet is the must-analysis fact: the tracked objects whose Status
+// has been examined on every path reaching this point. Only true entries
+// are stored.
+type checkedSet map[types.Object]bool
+
+func (s checkedSet) Equal(o flow.Fact) bool {
+	t := o.(checkedSet)
+	if len(s) != len(t) {
+		return false
+	}
+	for k := range s {
+		if !t[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s checkedSet) clone() checkedSet {
+	c := make(checkedSet, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func intersectChecked(a, b flow.Fact) flow.Fact {
+	x, y := a.(checkedSet), b.(checkedSet)
+	out := make(checkedSet)
+	for k := range x {
+		if y[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func statusFlowFunc(p *Pass, body *ast.BlockStmt) {
+	// Collect the solution bindings of this body (nested literals are their
+	// own flow units and collect their own).
+	tracked := make(map[types.Object]*solVar)
+	inspectShallow(body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != 2 || len(asg.Rhs) != 1 {
+			return true
+		}
+		call, ok := asg.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := solveCallName(p, call)
+		if name == "" {
+			return true
+		}
+		id, ok := asg.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj := p.Info.Defs[id]
+		if obj == nil {
+			obj = p.Info.Uses[id]
+		}
+		if obj != nil {
+			tracked[obj] = &solVar{call: name}
+		}
+		return true
+	})
+	if len(tracked) == 0 {
+		return
+	}
+
+	// A solution captured by a nested literal escapes this unit's ordering;
+	// drop it rather than guess when the closure runs.
+	inspectShallow(body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if obj := p.Info.Uses[id]; obj != nil {
+					delete(tracked, obj)
+				}
+			}
+			return true
+		})
+		return true
+	})
+	if len(tracked) == 0 {
+		return
+	}
+
+	g := flow.New(body)
+	// Entry fact: every tracked var "checked". A variable that has not been
+	// (re)defined on a path cannot hold an unchecked solution, so paths
+	// that skip the solve assignment stay silent; the assignment itself
+	// re-arms the variable to unchecked.
+	entry := make(checkedSet, len(tracked))
+	for obj := range tracked {
+		entry[obj] = true
+	}
+	in, _ := flow.Forward(g, flow.Analysis{
+		Entry: entry,
+		Join:  intersectChecked,
+		Transfer: func(b *flow.Block, f flow.Fact) flow.Fact {
+			set := f.(checkedSet).clone()
+			for _, n := range b.Nodes {
+				statusStep(p, tracked, n, set, nil)
+			}
+			return set
+		},
+	})
+
+	// Reporting replay: transfer once more per reachable block, with the
+	// fixpoint in-facts, emitting diagnostics this time.
+	seen := make(map[token.Pos]bool)
+	for _, b := range g.Reachable() {
+		f, ok := in[b]
+		if !ok {
+			continue
+		}
+		set := f.(checkedSet).clone()
+		for _, n := range b.Nodes {
+			statusStep(p, tracked, n, set, func(pos token.Pos, obj types.Object, field string) {
+				if seen[pos] {
+					return
+				}
+				seen[pos] = true
+				p.Reportf(pos, "%s.%s of the %s result is read on a path where its Status is unchecked",
+					obj.Name(), field, tracked[obj].call)
+			})
+		}
+	}
+}
+
+// statusStep folds one CFG node into the checked set, reporting payload
+// reads when report is non-nil. Within a node, check events apply before
+// use events (a condition like `sol.Status == optimal && use(sol.X)` guards
+// its own operands).
+func statusStep(p *Pass, tracked map[types.Object]*solVar, n ast.Node, set checkedSet, report func(token.Pos, types.Object, string)) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, e := range n.Rhs {
+			statusScanExpr(p, tracked, e, set, report)
+		}
+		for _, l := range n.Lhs {
+			if _, ok := l.(*ast.Ident); !ok {
+				statusScanExpr(p, tracked, l, set, report)
+			}
+		}
+		for i, l := range n.Lhs {
+			id, ok := l.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := p.Info.Defs[id]
+			if obj == nil {
+				obj = p.Info.Uses[id]
+			}
+			if obj == nil || tracked[obj] == nil {
+				continue
+			}
+			// Rebinding from a solver call re-arms the check obligation;
+			// any other assignment retires the variable on this path.
+			rearmed := false
+			if i == 0 && len(n.Rhs) == 1 {
+				if call, ok := n.Rhs[0].(*ast.CallExpr); ok && solveCallName(p, call) != "" {
+					rearmed = true
+				}
+			}
+			if rearmed {
+				delete(set, obj)
+			} else {
+				set[obj] = true
+			}
+		}
+
+	case *ast.RangeStmt:
+		if n.X != nil {
+			statusScanExpr(p, tracked, n.X, set, report)
+		}
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+				obj := p.Info.Defs[id]
+				if obj == nil {
+					obj = p.Info.Uses[id]
+				}
+				if obj != nil && tracked[obj] != nil {
+					set[obj] = true // rebound by the range; retire it
+				}
+			}
+		}
+
+	case *ast.CaseClause:
+		for _, e := range n.List {
+			statusScanExpr(p, tracked, e, set, report)
+		}
+
+	case *ast.CommClause:
+		if n.Comm != nil {
+			statusStep(p, tracked, n.Comm, set, report)
+		}
+
+	case *ast.SelectStmt:
+		// Comm clauses arrive as their own blocks.
+
+	default:
+		statusScanExpr(p, tracked, n, set, report)
+	}
+}
+
+// statusScanExpr applies the events of one expression/statement subtree:
+// first the check events (Status reads, method calls, bare escapes), then
+// the payload-use events.
+func statusScanExpr(p *Pass, tracked map[types.Object]*solVar, root ast.Node, set checkedSet, report func(token.Pos, types.Object, string)) {
+	lookup := func(id *ast.Ident) types.Object {
+		obj := p.Info.Uses[id]
+		if obj == nil || tracked[obj] == nil {
+			return nil
+		}
+		return obj
+	}
+	walkStack(root, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if obj := lookup(id); obj != nil {
+						set[obj] = true // method call: the method can check
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			if id, ok := n.X.(*ast.Ident); ok {
+				if obj := lookup(id); obj != nil && n.Sel.Name == "Status" {
+					set[obj] = true
+				}
+			}
+		case *ast.Ident:
+			obj := lookup(n)
+			if obj == nil {
+				return true
+			}
+			if len(stack) > 0 {
+				if sel, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && sel.X == n {
+					return true // selector use: classified above / below
+				}
+			}
+			set[obj] = true // bare escape: the receiver can check
+		}
+		return true
+	})
+	if report == nil {
+		return
+	}
+	walkStack(root, func(n ast.Node, stack []ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || !payloadFields[sel.Sel.Name] {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := lookup(id); obj != nil && !set[obj] {
+			report(sel.Pos(), obj, sel.Sel.Name)
+		}
+		return true
+	})
+}

@@ -35,7 +35,7 @@ func noStatus(p *lp.Problem) float64 {
 	if err != nil {
 		return 0
 	}
-	return sol.Obj
+	return sol.Obj // want rentlint/statusflow
 }
 
 // checked examines both the error and the status: true negative.
@@ -75,7 +75,7 @@ func warmNoStatus(p *lp.Problem, b *lp.Basis) float64 {
 	if err != nil {
 		return 0
 	}
-	return sol.Obj
+	return sol.Obj // want rentlint/statusflow
 }
 
 // warmChecked examines both the error and the status: true negative.
@@ -102,7 +102,7 @@ func ctxNoStatus(ctx context.Context, p *lp.Problem) float64 {
 	if err != nil {
 		return 0
 	}
-	return sol.Obj
+	return sol.Obj // want rentlint/statusflow
 }
 
 // warmCtxNoStatus consumes a warm context-threaded solution without reading
@@ -112,7 +112,7 @@ func warmCtxNoStatus(ctx context.Context, p *lp.Problem, b *lp.Basis) float64 {
 	if err != nil {
 		return 0
 	}
-	return sol.Obj
+	return sol.Obj // want rentlint/statusflow
 }
 
 // ctxChecked examines both the error and the status: true negative.

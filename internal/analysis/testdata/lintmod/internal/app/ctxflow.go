@@ -1,0 +1,93 @@
+package app
+
+import (
+	"context"
+	"time"
+
+	"example.com/lintmod/internal/lp"
+)
+
+// blindSolve receives a ctx but calls the context-blind entry point, so the
+// caller's deadline never reaches the solver: true positive.
+func blindSolve(ctx context.Context, p *lp.Problem) (float64, error) {
+	sol, err := lp.Solve(p) // want rentlint/ctxflow
+	if err != nil {
+		return 0, err
+	}
+	if sol.Status != lp.StatusOptimal {
+		return 0, errNotOptimal
+	}
+	return sol.Obj, nil
+}
+
+// backgroundSolve swaps the caller's ctx for a fresh Background at the call
+// site, detaching the solve from cancellation: true positive.
+func backgroundSolve(ctx context.Context, p *lp.Problem) (float64, error) {
+	sol, err := lp.SolveCtx(context.Background(), p, lp.Options{}) // want rentlint/ctxflow
+	if err != nil {
+		return 0, err
+	}
+	if sol.Status != lp.StatusOptimal {
+		return 0, errNotOptimal
+	}
+	return sol.Obj, nil
+}
+
+// branchDetached rebinds the context to TODO on one branch only; the
+// detached value may reach the solve, which the flow analysis sees across
+// the join: true positive.
+func branchDetached(ctx context.Context, p *lp.Problem, detach bool) (float64, error) {
+	c := ctx
+	if detach {
+		c = context.TODO()
+	}
+	sol, err := lp.SolveCtx(c, p, lp.Options{}) // want rentlint/ctxflow
+	if err != nil {
+		return 0, err
+	}
+	if sol.Status != lp.StatusOptimal {
+		return 0, errNotOptimal
+	}
+	return sol.Obj, nil
+}
+
+// deadlineSolve derives a timeout context from the caller's ctx: the chain
+// stays attached, true negative.
+func deadlineSolve(ctx context.Context, p *lp.Problem) (float64, error) {
+	c, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	sol, err := lp.SolveCtx(c, p, lp.Options{})
+	if err != nil {
+		return 0, err
+	}
+	if sol.Status != lp.StatusOptimal {
+		return 0, errNotOptimal
+	}
+	return sol.Obj, nil
+}
+
+// retiredTaint rebinds a detached context back to the caller's before the
+// solve: the taint dies on that path, true negative.
+func retiredTaint(ctx context.Context, p *lp.Problem) (float64, error) {
+	c := context.Background()
+	c = ctx
+	sol, err := lp.SolveCtx(c, p, lp.Options{})
+	if err != nil {
+		return 0, err
+	}
+	if sol.Status != lp.StatusOptimal {
+		return 0, errNotOptimal
+	}
+	return sol.Obj, nil
+}
+
+// warmDetached deliberately detaches a cache-warming solve from the request
+// context; the suppression carries the reasoning.
+func warmDetached(ctx context.Context, p *lp.Problem) float64 {
+	//lint:ignore rentlint/ctxflow corpus: warm-up solve must outlive the request ctx
+	sol, err := lp.SolveCtx(context.Background(), p, lp.Options{}) // wantsup rentlint/ctxflow
+	if err != nil || sol.Status != lp.StatusOptimal {
+		return 0
+	}
+	return sol.Obj
+}

@@ -18,7 +18,7 @@ func presolveNoStatus(p *lp.Problem) float64 {
 	if err != nil {
 		return 0
 	}
-	return sol.Obj
+	return sol.Obj // want rentlint/statusflow
 }
 
 // presolveChecked examines both the error and the status: true negative.

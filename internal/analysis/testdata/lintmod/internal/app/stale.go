@@ -1,0 +1,17 @@
+package app
+
+// staleGuard once compared floats; the comparison is integral now, so the
+// directive suppresses nothing and is itself reported at its own position.
+func staleGuard(a, b int) bool {
+	//lint:ignore rentlint/floatcmp corpus: was a float compare before quantisation // want rentlint/staleignore
+	return a == b
+}
+
+// pinnedStale keeps a deliberately stale directive as the suppression-path
+// fixture: the staleignore finding it produces is itself suppressed by the
+// stacked directive above it.
+func pinnedStale(a, b int) bool {
+	//lint:ignore rentlint/staleignore corpus: pinned stale directive exercises the suppression path
+	//lint:ignore rentlint/nanprop corpus: deliberately stale // wantsup rentlint/staleignore
+	return a == b
+}

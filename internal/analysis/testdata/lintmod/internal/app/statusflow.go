@@ -1,0 +1,84 @@
+package app
+
+import (
+	"example.com/lintmod/internal/lp"
+)
+
+// earlyReturnObj reads the payload on the fast path before the status check
+// that only guards the slow path. The syntactic checkedstatus analyzer sees
+// `.Status` somewhere in the function and stays quiet; only the
+// path-sensitive statusflow catches the unchecked early return.
+func earlyReturnObj(p *lp.Problem, fast bool) float64 {
+	sol, err := lp.Solve(p)
+	if err != nil {
+		return 0
+	}
+	if fast {
+		return sol.Obj // want rentlint/statusflow
+	}
+	if sol.Status != lp.StatusOptimal {
+		return 0
+	}
+	return sol.Obj
+}
+
+// methodGuarded guards the payload through the Solution.Optimal helper.
+// statusflow treats the method call as a check event on every path and stays
+// quiet; the syntactic checkedstatus analyzer cannot see through the method
+// and still flags the call site — a known false positive this fixture pins
+// as the precision gap between the two analyzers.
+func methodGuarded(p *lp.Problem) float64 {
+	sol, err := lp.Solve(p) // want rentlint/checkedstatus
+	if err != nil || !sol.Optimal() {
+		return 0
+	}
+	return sol.Obj
+}
+
+// rearmed re-solves into the same variable after a fully checked first
+// round: the second solve re-arms the check obligation, which the return
+// below violates. checkedstatus sees one `.Status` read and accepts the
+// whole function; statusflow tracks the obligation per assignment.
+func rearmed(p *lp.Problem) float64 {
+	sol, err := lp.Solve(p)
+	if err != nil || sol.Status != lp.StatusOptimal {
+		return 0
+	}
+	first := sol.Obj
+	sol, err = lp.Solve(p)
+	if err != nil {
+		return first
+	}
+	return first + sol.Obj // want rentlint/statusflow
+}
+
+// loopChecked re-solves inside a loop and checks each round before reading
+// the payload: true negative across the back edge.
+func loopChecked(p *lp.Problem, rounds int) float64 {
+	var total float64
+	for i := 0; i < rounds; i++ {
+		sol, err := lp.Solve(p)
+		if err != nil || sol.Status != lp.StatusOptimal {
+			return total
+		}
+		total += sol.Obj
+	}
+	return total
+}
+
+// deliberateEarlyObj reads the payload on a fast path whose status is
+// vouched for by construction; the suppression carries the reasoning.
+func deliberateEarlyObj(p *lp.Problem, fast bool) float64 {
+	sol, err := lp.Solve(p)
+	if err != nil {
+		return 0
+	}
+	if fast {
+		//lint:ignore rentlint/statusflow corpus: fast path feeds a heuristic that tolerates any status
+		return sol.Obj // wantsup rentlint/statusflow
+	}
+	if sol.Status != lp.StatusOptimal {
+		return 0
+	}
+	return sol.Obj
+}

@@ -33,6 +33,9 @@ type Solution struct {
 	Obj    float64
 }
 
+// Optimal reports whether the solve reached optimality.
+func (s *Solution) Optimal() bool { return s.Status == StatusOptimal }
+
 // Basis is a stub basis snapshot.
 type Basis struct {
 	Columns []int

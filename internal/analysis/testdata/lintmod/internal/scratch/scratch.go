@@ -1,0 +1,111 @@
+// Package scratch exercises the poolescape analyzer: a miniature pooled
+// workspace mirroring the real solver's sync.Pool scratch discipline, with
+// an acquire helper, a release helper, and the escape patterns the analyzer
+// must flag or tolerate.
+package scratch
+
+import "sync"
+
+// ws is a pooled workspace.
+type ws struct {
+	buf []float64
+}
+
+var pool = sync.Pool{New: func() any { return new(ws) }}
+
+// acquire hands ownership of a pooled workspace to the caller; returning
+// the value from here is the transfer, not an escape.
+func acquire() *ws {
+	w := pool.Get().(*ws)
+	w.buf = w.buf[:0]
+	return w
+}
+
+// release returns a workspace to the pool.
+func (w *ws) release() {
+	w.buf = w.buf[:0]
+	pool.Put(w)
+}
+
+// useAfterPut reads the workspace after handing it back through the release
+// helper: true positive.
+func useAfterPut() float64 {
+	w := acquire()
+	w.buf = append(w.buf, 1)
+	w.release()
+	return w.buf[0] // want rentlint/poolescape
+}
+
+// directGetUseAfterPut uses the raw Get/Put pair instead of the helpers:
+// true positive.
+func directGetUseAfterPut() int {
+	w := pool.Get().(*ws)
+	pool.Put(w)
+	return cap(w.buf) // want rentlint/poolescape
+}
+
+// returnAfterDefer returns the pooled value while a deferred release is
+// pending, so the caller receives recycled memory: true positive.
+func returnAfterDefer() *ws {
+	w := acquire()
+	defer w.release()
+	return w // want rentlint/poolescape
+}
+
+// leaked is the illicit home of storeGlobal's workspace.
+var leaked *ws
+
+// storeGlobal parks the pooled value in a package variable while also
+// releasing it: true positive.
+func storeGlobal() {
+	w := acquire()
+	leaked = w // want rentlint/poolescape
+	w.release()
+}
+
+// goCapture hands the pooled value to a goroutine while releasing it here;
+// the goroutine races the pool's next Get: true positive.
+func goCapture(done chan struct{}) {
+	w := acquire()
+	go func() {
+		_ = w.buf // want rentlint/poolescape
+		close(done)
+	}()
+	w.release()
+}
+
+// wellScoped releases after its last use on the only path: true negative.
+func wellScoped(xs []float64) float64 {
+	w := acquire()
+	var sum float64
+	for _, x := range xs {
+		w.buf = append(w.buf, x)
+		sum += x
+	}
+	w.release()
+	return sum
+}
+
+// branchScoped releases-and-returns on one branch and keeps using the value
+// on the other; the analyzer must not merge the release back across the
+// branch: true negative.
+func branchScoped(flush bool) float64 {
+	w := acquire()
+	w.buf = append(w.buf, 1)
+	if flush {
+		w.release()
+		return 0
+	}
+	out := w.buf[0]
+	w.release()
+	return out
+}
+
+// recycledPeek deliberately reads the value after the Put; the suppression
+// carries the reasoning.
+func recycledPeek() int {
+	w := acquire()
+	w.release()
+	//lint:ignore rentlint/poolescape corpus: single-owner pool, reuse window is deliberate
+	return len(w.buf) // wantsup rentlint/poolescape
+}

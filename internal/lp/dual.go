@@ -287,7 +287,7 @@ func (s *simplex) dualPivot(r int, tol float64) dualPivotStatus {
 		for _, cj := range rem {
 			j := int(cj)
 			a := math.Abs(s.alpha[j])
-			//lint:ignore rentlint/nanprop eligible candidates passed |α| > num.PivotTol above
+			// Eligible candidates passed |α| > num.PivotTol above.
 			rt := s.dualSignedD(j) / a
 			if rt < minRatio {
 				minRatio, jmin = rt, j
@@ -371,12 +371,12 @@ func (s *simplex) dualExchange(r, q, out int, leaveAt varStatus, tol float64) du
 		bound = s.hi[out]
 	}
 	v := s.xval[out] - bound
-	//lint:ignore rentlint/nanprop |piv| > num.PivotTol was just checked
+	// |piv| > num.PivotTol was just checked.
 	t := v / piv
 	for i := 0; i < s.m; i++ {
 		s.xval[s.basis[i]] -= t * s.w[i]
 	}
-	//lint:ignore rentlint/nanprop α_q and piv agree in sign and |piv| > num.PivotTol, so α_q is nonzero
+	// α_q and piv agree in sign and |piv| > num.PivotTol, so α_q is nonzero.
 	gamma := s.dred[q] / s.alpha[q]
 	s.xval[out], s.stat[out] = bound, leaveAt
 	s.inRow[out] = -1

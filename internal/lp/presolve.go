@@ -169,7 +169,8 @@ func (st *presolveState) singletonRows() bool {
 			continue
 		}
 		j, a := st.rows[i].Ix[0], st.rows[i].V[0]
-		//lint:ignore rentlint/nanprop NewSparseRow and the substitution below drop exact-zero coefficients, so a is nonzero
+		// NewSparseRow and the substitution below drop exact-zero
+		// coefficients, so a is nonzero.
 		bnd := st.b[i] / a
 		rel := st.rel[i]
 		if rel != EQ && a < 0 {

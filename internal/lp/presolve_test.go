@@ -110,7 +110,7 @@ func presolveLP(rng *rand.Rand) *Problem {
 		if rng.Intn(4) == 0 { // singleton row
 			j := rng.Intn(n)
 			row[j] = rng.NormFloat64()
-			if row[j] == 0 { //lint:ignore rentlint/floatcmp regenerate the measure-zero degenerate draw
+			if row[j] == 0 { // regenerate the measure-zero degenerate draw
 				row[j] = 1
 			}
 			v := row[j] * x0[j]
@@ -364,7 +364,7 @@ func TestGeomScaleRoundTrip(t *testing.T) {
 		ix := []int{}
 		v := []float64{}
 		for j, a := range row {
-			if a != 0 { //lint:ignore rentlint/floatcmp exact-zero skip when densifying to the sparse backing
+			if a != 0 { // exact-zero skip when densifying to the sparse backing
 				ix = append(ix, j)
 				v = append(v, a)
 			}
@@ -376,7 +376,7 @@ func TestGeomScaleRoundTrip(t *testing.T) {
 		if s <= 0 || math.IsInf(s, 0) || math.IsNaN(s) {
 			t.Fatalf("degenerate scale factor %v", s)
 		}
-		if l := math.Log2(s); l != math.Trunc(l) { //lint:ignore rentlint/floatcmp log2 of a power of two is an exact integer
+		if l := math.Log2(s); l != math.Trunc(l) { // log2 of a power of two is an exact integer
 			t.Fatalf("scale %v is not a power of two", s)
 		}
 	}
