@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint test-analysis race check bench bench-sparse bench-dual
+.PHONY: build test vet lint test-analysis race check bench bench-sparse bench-dual bench-benders
 
 build:
 	$(GO) build ./...
@@ -46,3 +46,10 @@ bench-sparse:
 # reduction acceptance threshold.
 bench-dual:
 	$(GO) test -run '^$$' -bench 'BenchmarkDualVsColdSRRP' -benchtime 1x .
+
+# Smoke-run the parallel nested L-shaped benchmark (8-stage/branch-3 tree,
+# serial cold baseline vs memo + warehouse + dual-warm re-solves); baselines
+# in BENCH_benders.json. The benchmark enforces the >= 3x wall-clock speedup
+# acceptance threshold and the 1e-6 relative bound agreement itself.
+bench-benders:
+	$(GO) test -run '^$$' -bench 'BenchmarkBendersNestedParallel' -benchtime 1x .

@@ -7,6 +7,7 @@
 //
 //	rentplan -model drrp -class m1.xlarge -horizon 24
 //	rentplan -model srrp -class c1.medium -stages 5 -bid 0.061 -days 60
+//	rentplan -model nested -class c1.medium -stages 8 -branch 3 -saa 64 -reduce 16
 //	rentplan -model exec -class c1.medium -horizon 48 -budget 50ms
 //	rentplan -spec instance.json
 package main
@@ -15,10 +16,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 
 	"runtime/pprof"
 
+	"rentplan/internal/benders"
 	"rentplan/internal/core"
 	"rentplan/internal/demand"
 	"rentplan/internal/market"
@@ -30,7 +33,7 @@ import (
 
 func main() {
 	var (
-		model      = flag.String("model", "drrp", "planning model: drrp, srrp, or exec (rolling-horizon execution)")
+		model      = flag.String("model", "drrp", "planning model: drrp, srrp, nested (parallel nested L-shaped LP bound), or exec (rolling-horizon execution)")
 		class      = flag.String("class", "c1.medium", "VM class (c1.medium, m1.large, m1.xlarge, c1.xlarge)")
 		horizon    = flag.Int("horizon", 24, "DRRP planning horizon in hours")
 		demandMean = flag.Float64("demand-mean", 0.4, "hourly demand mean (GB)")
@@ -47,6 +50,8 @@ func main() {
 		workers    = flag.Int("workers", 0, "branch-and-bound workers for MILP solves (0 = all cores, 1 = serial)")
 		verbose    = flag.Bool("verbose", false, "stream MILP solver progress (and exec degradations) to stderr")
 		budget     = flag.Duration("budget", 0, "wall-clock budget per rolling re-solve in exec mode (0 = unlimited); arms the degradation ladder")
+		saa        = flag.Int("saa", 0, "nested mode: replace the tree by an SAA fan of this many sampled price paths (0 = solve the full tree)")
+		reduce     = flag.Int("reduce", 0, "nested mode: reduce the SAA fan to this many scenarios by transport-optimal backward reduction (0 = no reduction; requires -saa)")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -190,6 +195,86 @@ func main() {
 		fmt.Printf("expected cost   : $%.4f\n", plan.ExpCost)
 		fmt.Printf("here-and-now    : rent=%v generate=%.3f GB\n", plan.RootRent, plan.RootAlpha)
 
+	case "nested":
+		gen, err := market.NewGenerator(market.VMClass(*class), *seed)
+		if err != nil {
+			fatal(err)
+		}
+		hourly, err := gen.Trace(*days).Hourly(0, *days*24)
+		if err != nil {
+			fatal(err)
+		}
+		base := stats.NewDiscreteFromSamples(hourly, 1e-3)
+		b := *bid
+		if b <= 0 {
+			b = base.Mean()
+		}
+		bids := make([]float64, *stages)
+		for i := range bids {
+			bids[i] = b
+		}
+		lambda, _ := par.OnDemandRate()
+		tree, err := scenario.Build(base, bids, lambda, scenario.BuildConfig{
+			Stages:    *stages,
+			MaxBranch: *branch,
+			RootPrice: hourly[len(hourly)-1],
+		})
+		if err != nil {
+			fatal(err)
+		}
+		transport := 0.0
+		if *saa > 0 {
+			fan, err := tree.SampleFan(*saa, rand.New(rand.NewSource(*seed)))
+			if err != nil {
+				fatal(err)
+			}
+			if *reduce > 0 {
+				fan, transport, err = fan.Reduce(*reduce)
+				if err != nil {
+					fatal(err)
+				}
+			}
+			if tree, err = fan.Tree(); err != nil {
+				fatal(err)
+			}
+		} else if *reduce > 0 {
+			fatal(fmt.Errorf("-reduce requires -saa"))
+		}
+		res, bound, err := core.SolveSRRPNestedLShaped(par, tree, dem[:*stages+1],
+			benders.NestedOptions{Workers: *workers})
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			emitJSON(map[string]interface{}{
+				"model": "nested", "class": *class, "bid": b,
+				"bound": bound, "converged": res.Converged,
+				"iterations": res.Iterations, "cuts": res.Cuts,
+				"cutsDeduped": res.CutsDeduped, "cutsEvicted": res.CutsEvicted,
+				"vertexSolves": res.VertexSolves, "warmSolves": res.WarmSolves,
+				"memoHits": res.MemoHits, "treeVertices": tree.N(),
+				"transportBound": transport,
+			})
+			return
+		}
+		fmt.Printf("nested L-shaped LP bound for %s: %d stages, bid $%.4f, tree %d vertices\n",
+			*class, *stages, b, tree.N())
+		if *saa > 0 {
+			fmt.Printf("SAA scenarios   : %d sampled", *saa)
+			if *reduce > 0 {
+				fmt.Printf(", reduced to %d (transport bound %.5f)", *reduce, transport)
+			}
+			fmt.Println()
+		}
+		fmt.Printf("lower bound     : $%.4f (converged=%v after %d sweeps)\n",
+			bound, res.Converged, res.Iterations)
+		fmt.Printf("cut warehouse   : %d stored, %d deduplicated, %d evicted\n",
+			res.Cuts, res.CutsDeduped, res.CutsEvicted)
+		fmt.Printf("vertex solves   : %d (%d warm-started, %d memo hits)\n",
+			res.VertexSolves, res.WarmSolves, res.MemoHits)
+		fmt.Printf("here-and-now    : rent=%v generate=%.3f GB\n",
+			res.RootChi > 0.5, res.RootAlpha)
+
 	case "exec":
 		gen, err := market.NewGenerator(market.VMClass(*class), *seed)
 		if err != nil {
@@ -260,7 +345,7 @@ func main() {
 		}
 
 	default:
-		fatal(fmt.Errorf("unknown model %q (want drrp, srrp, or exec)", *model))
+		fatal(fmt.Errorf("unknown model %q (want drrp, srrp, nested, or exec)", *model))
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 // guarantee nondeterm protects.
 var deterministicPkgs = []string{
 	"internal/lp", "internal/mip", "internal/core", "internal/lotsize",
+	"internal/benders",
 }
 
 // NonDeterm flags sources of run-to-run nondeterminism inside the

@@ -8,18 +8,18 @@ import (
 )
 
 // TolConst flags magic tolerance literals (1e-6, 1e-9, …) in the solver
-// packages. Every tolerance in internal/lp, internal/mip and internal/core
-// must be one of the named constants of internal/num, whose doc comments
-// state the invariant each value protects; a literal at the use site
-// bypasses that plumbing and silently decouples from the rest of the stack.
-// Any float literal with 0 < |v| ≤ 1e-4 is treated as tolerance-scale.
-// internal/num itself (the single authorised definition site) is exempt,
-// as are test files (ad-hoc assertion slacks are fine).
+// packages. Every tolerance in internal/lp, internal/mip, internal/core
+// and internal/benders must be one of the named constants of internal/num,
+// whose doc comments state the invariant each value protects; a literal at
+// the use site bypasses that plumbing and silently decouples from the rest
+// of the stack. Any float literal with 0 < |v| ≤ 1e-4 is treated as
+// tolerance-scale. internal/num itself (the single authorised definition
+// site) is exempt, as are test files (ad-hoc assertion slacks are fine).
 func TolConst() *Analyzer {
 	a := &Analyzer{
 		Name:  "tolconst",
 		Doc:   "magic tolerance literals bypassing internal/num",
-		Paths: []string{"internal/lp", "internal/mip", "internal/core"},
+		Paths: []string{"internal/lp", "internal/mip", "internal/core", "internal/benders"},
 	}
 	a.Run = func(p *Pass) {
 		if strings.HasSuffix(strings.TrimSuffix(p.PkgPath, "_test"), "internal/num") {

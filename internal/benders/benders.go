@@ -21,6 +21,7 @@ import (
 	"math"
 
 	"rentplan/internal/lp"
+	"rentplan/internal/num"
 )
 
 // Scenario is one realisation of the second stage.
@@ -87,7 +88,7 @@ func (p *Problem) Validate() error {
 			}
 		}
 	}
-	if mass < 1-1e-6 || mass > 1+1e-6 {
+	if mass < 1-num.ProbMassTol || mass > 1+num.ProbMassTol {
 		return fmt.Errorf("benders: scenario probabilities sum to %g", mass)
 	}
 	return nil
@@ -97,14 +98,20 @@ func (p *Problem) Validate() error {
 type Options struct {
 	// MaxIter bounds master iterations; ≤0 selects 300.
 	MaxIter int
-	// Tol is the convergence gap on θ vs the sampled recourse; ≤0 = 1e-7.
+	// Tol is the convergence gap on θ vs the sampled recourse; ≤0 selects
+	// num.DecompGapTol.
 	Tol float64
 	// ThetaLB is a valid lower bound on the expected recourse cost; the
-	// zero value selects −1e7.
+	// zero value selects num.ThetaDefaultLB.
 	ThetaLB float64
 	// MultiCut adds one optimality cut per scenario instead of the
 	// aggregated single cut (faster convergence, bigger master).
 	MultiCut bool
+	// NoWarmStart re-solves the master cold every iteration instead of
+	// warm-starting from the previous optimal basis extended over the
+	// appended cut rows. Benchmarks use it as the A/B baseline; both modes
+	// converge to the same optimum.
+	NoWarmStart bool
 }
 
 func (o Options) withDefaults() Options {
@@ -112,10 +119,10 @@ func (o Options) withDefaults() Options {
 		o.MaxIter = 300
 	}
 	if o.Tol <= 0 {
-		o.Tol = 1e-7
+		o.Tol = num.DecompGapTol
 	}
 	if o.ThetaLB == 0 { //lint:ignore rentlint/floatcmp zero is the unset-default sentinel of the Options zero value, never a computed result
-		o.ThetaLB = -1e7
+		o.ThetaLB = num.ThetaDefaultLB
 	}
 	return o
 }
@@ -126,9 +133,18 @@ type Result struct {
 	Obj float64 // cᵀx + expected recourse
 	// Iterations counts master solves; OptCuts and FeasCuts the cuts added.
 	Iterations, OptCuts, FeasCuts int
+	// WarmMasters counts the master solves that reused the previous
+	// optimal basis (zero when Options.NoWarmStart is set).
+	WarmMasters int
 	// Converged reports whether the gap closed within MaxIter.
 	Converged bool
 }
+
+// denseMasterForTest forces the master problem onto the dense row
+// representation. The sparse/dense bit-agreement test flips it to prove
+// the sparse-backed master reproduces the historical dense path exactly;
+// production code leaves it false.
+var denseMasterForTest bool
 
 // Solve runs the L-shaped method.
 func Solve(p *Problem, opts Options) (*Result, error) {
@@ -151,11 +167,17 @@ func SolveCtx(ctx context.Context, p *Problem, opts Options) (*Result, error) {
 		nTheta = K
 	}
 
-	// Master LP over (x, θ_1..θ_nTheta).
+	// Master LP over (x, θ_1..θ_nTheta), sparse-backed: cut rows carry a
+	// handful of structural nonzeros each, so appending them through the
+	// SparseRow path keeps master growth O(nnz) per cut instead of
+	// O(n+nTheta).
 	master := &lp.Problem{
 		C:     make([]float64, n+nTheta),
 		Lower: make([]float64, n+nTheta),
 		Upper: make([]float64, n+nTheta),
+	}
+	if !denseMasterForTest {
+		master.SA = []lp.SparseRow{}
 	}
 	copy(master.C, p.C)
 	for j := 0; j < n; j++ {
@@ -180,19 +202,39 @@ func SolveCtx(ctx context.Context, p *Problem, opts Options) (*Result, error) {
 	for i, row := range p.A {
 		r := make([]float64, n+nTheta)
 		copy(r, row)
-		master.A = append(master.A, r)
-		master.Rel = append(master.Rel, p.Rel[i])
-		master.B = append(master.B, p.B[i])
+		master.AddRow(r, p.Rel[i], p.B[i])
 	}
 
+	// solveMaster re-solves the master, warm-starting from the previous
+	// optimal basis extended over the cut rows appended since its snapshot.
+	// Appended cut slacks enter basic, so the install stays dual feasible
+	// and the dual simplex prices out the new cuts in a few pivots; a
+	// malformed or stale extension falls back to the cold path inside
+	// SolveFrom, so correctness never depends on the warm start.
+	var masterBasis *lp.Basis
+	basisRows := 0
 	res := &Result{}
+	solveMaster := func() (*lp.Solution, error) {
+		if opts.NoWarmStart || masterBasis == nil {
+			return lp.SolveCtx(ctx, master, lp.Options{})
+		}
+		basis := masterBasis
+		if added := len(master.Rel) - basisRows; added > 0 {
+			basis = basis.ExtendAppendedRows(n+nTheta, added)
+		}
+		msol, err := lp.SolveFromCtx(ctx, master, basis, lp.Options{})
+		if err == nil && msol.WarmStart != lp.WarmNone && msol.WarmStart != lp.WarmFallback {
+			res.WarmMasters++
+		}
+		return msol, err
+	}
 	sub := &lp.Problem{}
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("benders: canceled after %d master iterations: %w", res.Iterations, err)
 		}
 		res.Iterations++
-		msol, err := lp.SolveCtx(ctx, master, lp.Options{})
+		msol, err := solveMaster()
 		if err != nil {
 			return nil, fmt.Errorf("benders: master: %w", err)
 		}
@@ -205,6 +247,7 @@ func SolveCtx(ctx context.Context, p *Problem, opts Options) (*Result, error) {
 		default:
 			return nil, fmt.Errorf("benders: master status %v", msol.Status)
 		}
+		masterBasis, basisRows = msol.Basis, len(master.Rel)
 		x := msol.X[:n]
 		theta := msol.X[n:]
 
@@ -265,20 +308,18 @@ func SolveCtx(ctx context.Context, p *Problem, opts Options) (*Result, error) {
 					return nil, fmt.Errorf("benders: scenario %d infeasible without certificate", k)
 				}
 				// Feasibility cut: σᵀ(h_k − T_k x) ≤ 0.
-				row := make([]float64, n+nTheta)
+				grad := make([]float64, n)
 				rhsF := 0.0
 				for i, sig := range ssol.FarkasRay {
 					if sig == 0 { //lint:ignore rentlint/floatcmp exact-zero skip: omitting a zero ray entry changes no sum, for any rounding
 						continue
 					}
 					for j := 0; j < n; j++ {
-						row[j] += sig * sc.T[i][j]
+						grad[j] += sig * sc.T[i][j]
 					}
 					rhsF += sig * sc.H[i]
 				}
-				master.A = append(master.A, row)
-				master.Rel = append(master.Rel, lp.GE)
-				master.B = append(master.B, rhsF)
+				appendCutRow(master, grad, -1, rhsF)
 				res.FeasCuts++
 				feasibilityCutAdded = true
 			case lp.StatusCanceled:
@@ -310,23 +351,42 @@ func SolveCtx(ctx context.Context, p *Problem, opts Options) (*Result, error) {
 			if theta[t] >= perTheta[t]-opts.Tol*(1+math.Abs(perTheta[t])) {
 				continue // this θ is already supported
 			}
-			row := make([]float64, n+nTheta)
-			copy(row, cutCoef[t])
-			row[n+t] = 1
-			master.A = append(master.A, row)
-			master.Rel = append(master.Rel, lp.GE)
-			master.B = append(master.B, cutRHS[t])
+			appendCutRow(master, cutCoef[t], n+t, cutRHS[t])
 			res.OptCuts++
 		}
 	}
 	// Out of iterations: return the best-known point.
-	msol, err := lp.SolveCtx(ctx, master, lp.Options{})
+	msol, err := solveMaster()
 	if err != nil || msol.Status != lp.StatusOptimal {
 		return nil, errors.New("benders: iteration limit without a usable master solution")
 	}
 	res.X = append([]float64(nil), msol.X[:n]...)
 	res.Obj = msol.Obj
 	return res, nil
+}
+
+// appendCutRow appends one GE cut row to the master, built from a dense
+// gradient over the first-stage columns plus an optional θ column
+// (extraCol ≥ 0) carrying coefficient 1; extraCol −1 appends a feasibility
+// cut with no θ term. Only the structural nonzeros are materialised, which
+// keeps cut appends O(nnz) on the sparse-backed master; on the dense-backed
+// master AddSparseRow scatters them back into a full-width row, so the two
+// representations stay bit-identical.
+func appendCutRow(master *lp.Problem, grad []float64, extraCol int, rhs float64) {
+	ix := make([]int, 0, len(grad)+1)
+	val := make([]float64, 0, len(grad)+1)
+	for j, g := range grad {
+		if g == 0 { //lint:ignore rentlint/floatcmp exact-zero skip: structural sparsity only, zeros contribute nothing
+			continue
+		}
+		ix = append(ix, j)
+		val = append(val, g)
+	}
+	if extraCol >= 0 {
+		ix = append(ix, extraCol)
+		val = append(val, 1)
+	}
+	master.AddSparseRow(ix, val, lp.GE, rhs)
 }
 
 func dot(a, b []float64) float64 {

@@ -1,0 +1,43 @@
+package benders
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// parallelFor runs fn(i) for every i in [0, n) on at most workers
+// goroutines. workers ≤ 1 (or n ≤ 1) runs the loop inline on the calling
+// goroutine — the serial reference path with zero scheduling overhead,
+// mirroring the worker-pool convention of internal/mip.
+//
+// Callers must write results only to disjoint per-index slots and combine
+// them after parallelFor returns, in index order; under that discipline the
+// observable outcome is bit-identical for every worker count, which is the
+// determinism contract the nondeterm analyzer protects in this package.
+func parallelFor(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

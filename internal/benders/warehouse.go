@@ -1,0 +1,96 @@
+package benders
+
+import (
+	"math"
+
+	"rentplan/internal/num"
+)
+
+// storedCut is one optimality cut θ ≥ a·β + r kept in a vertex warehouse.
+type storedCut struct {
+	a, r float64
+	// lastUse is the value of the owning vertex's solve clock the last time
+	// the cut was stored, re-derived (dedup hit), or binding in an optimal
+	// vertex LP. It drives the LRU aging of the warehouse.
+	lastUse int
+}
+
+// cutWarehouse is the bounded per-vertex cut store of the nested L-shaped
+// solver. It deduplicates incoming cuts against the stored ones (two cuts
+// whose slope and intercept coincide within num.CutDedupTol constrain the
+// same half-plane, so keeping both only bloats the vertex LP) and ages out
+// the least-recently-used cut when the store exceeds its capacity.
+//
+// Every mutation is performed by the single goroutine that owns the vertex
+// in the current pass, and the sequence of mutations is identical for every
+// worker count, so the warehouse contents — and therefore the cut ordering
+// in the vertex LPs — are deterministic.
+type cutWarehouse struct {
+	cuts []storedCut
+	// cap bounds len(cuts); ≤0 means unbounded.
+	cap int
+	// version increments whenever a stored cut is evicted. A basis snapshot
+	// taken against an older version indexes rows that no longer exist, so
+	// vertex warm starts key on (version, cut count) and fall back cold on a
+	// mismatch.
+	version int
+	// added / deduped / evicted count the fate of offered cuts over the run.
+	added, deduped, evicted int
+}
+
+// add offers a cut to the warehouse. A duplicate (slope and intercept both
+// within num.CutDedupTol, relative) refreshes the stored cut's lastUse and
+// is dropped; otherwise the cut is appended and, if the store overflows its
+// capacity, the least-recently-used cut is evicted. Reports whether the cut
+// was appended.
+func (w *cutWarehouse) add(a, r float64, clock int) bool {
+	for i := range w.cuts {
+		c := &w.cuts[i]
+		if math.Abs(c.a-a) <= num.CutDedupTol*(1+math.Abs(c.a)) &&
+			math.Abs(c.r-r) <= num.CutDedupTol*(1+math.Abs(c.r)) {
+			if clock > c.lastUse {
+				c.lastUse = clock
+			}
+			w.deduped++
+			return false
+		}
+	}
+	w.cuts = append(w.cuts, storedCut{a: a, r: r, lastUse: clock})
+	w.added++
+	if w.cap > 0 && len(w.cuts) > w.cap {
+		w.evictLRU()
+	}
+	return true
+}
+
+// touch refreshes cut i's lastUse; the solver calls it for every cut whose
+// row was binding (nonzero dual) in an optimal vertex LP, so cuts that keep
+// shaping the value function survive the aging.
+func (w *cutWarehouse) touch(i, clock int) {
+	if i < 0 || i >= len(w.cuts) {
+		return
+	}
+	if clock > w.cuts[i].lastUse {
+		w.cuts[i].lastUse = clock
+	}
+}
+
+// evictLRU removes least-recently-used cuts until the store fits its
+// capacity, breaking lastUse ties toward the lowest index (the oldest
+// append) so eviction is deterministic. Each call bumps version once.
+func (w *cutWarehouse) evictLRU() {
+	if w.cap <= 0 || len(w.cuts) <= w.cap {
+		return
+	}
+	for len(w.cuts) > w.cap {
+		oldest := 0
+		for i := 1; i < len(w.cuts); i++ {
+			if w.cuts[i].lastUse < w.cuts[oldest].lastUse {
+				oldest = i
+			}
+		}
+		w.cuts = append(w.cuts[:oldest], w.cuts[oldest+1:]...)
+		w.evicted++
+	}
+	w.version++
+}

@@ -1,0 +1,94 @@
+package benders
+
+import "testing"
+
+func TestWarehouseDedup(t *testing.T) {
+	w := cutWarehouse{cap: 8}
+	if !w.add(1.0, 2.0, 1) {
+		t.Fatal("first cut must be stored")
+	}
+	// A near-duplicate within CutDedupTol refreshes the stored cut instead
+	// of growing the store.
+	if w.add(1.0+1e-12, 2.0-1e-12, 2) {
+		t.Fatal("near-duplicate cut must be deduplicated")
+	}
+	if len(w.cuts) != 1 || w.added != 1 || w.deduped != 1 {
+		t.Fatalf("store after dedup: len=%d added=%d deduped=%d", len(w.cuts), w.added, w.deduped)
+	}
+	if w.cuts[0].lastUse != 2 {
+		t.Fatalf("dedup hit must refresh lastUse, got %d", w.cuts[0].lastUse)
+	}
+	// Same slope, clearly different intercept: a genuinely new cut.
+	if !w.add(1.0, 2.5, 3) {
+		t.Fatal("distinct cut must be stored")
+	}
+	if len(w.cuts) != 2 || w.version != 0 {
+		t.Fatalf("store after distinct add: len=%d version=%d", len(w.cuts), w.version)
+	}
+}
+
+func TestWarehouseLRUEviction(t *testing.T) {
+	w := cutWarehouse{cap: 3}
+	w.add(1, 10, 1)
+	w.add(2, 20, 2)
+	w.add(3, 30, 3)
+	// Refresh cut 0, making cut 1 the least recently used.
+	w.touch(0, 4)
+	w.add(4, 40, 5)
+	if len(w.cuts) != 3 {
+		t.Fatalf("capacity overflow: %d cuts, cap 3", len(w.cuts))
+	}
+	if w.evicted != 1 || w.version != 1 {
+		t.Fatalf("eviction accounting: evicted=%d version=%d", w.evicted, w.version)
+	}
+	slopes := []float64{w.cuts[0].a, w.cuts[1].a, w.cuts[2].a}
+	want := []float64{1, 3, 4}
+	for i := range want {
+		if slopes[i] != want[i] {
+			t.Fatalf("surviving slopes %v, want %v (LRU cut 2 must go)", slopes, want)
+		}
+	}
+}
+
+func TestWarehouseEvictionTieBreak(t *testing.T) {
+	// Equal lastUse everywhere: the eviction must deterministically take
+	// the lowest index (the oldest append).
+	w := cutWarehouse{cap: 2}
+	w.add(1, 10, 7)
+	w.add(2, 20, 7)
+	w.add(3, 30, 7)
+	if len(w.cuts) != 2 || w.cuts[0].a != 2 || w.cuts[1].a != 3 {
+		t.Fatalf("tie-break eviction kept slopes %v", w.cuts)
+	}
+}
+
+func TestWarehouseCapInvariant(t *testing.T) {
+	w := cutWarehouse{cap: 4}
+	for i := 0; i < 40; i++ {
+		w.add(float64(i), float64(2*i), i)
+		if len(w.cuts) > w.cap {
+			t.Fatalf("after add %d: %d cuts exceed cap %d", i, len(w.cuts), w.cap)
+		}
+	}
+	if w.added != 40 || w.evicted != 36 {
+		t.Fatalf("added=%d evicted=%d", w.added, w.evicted)
+	}
+	// Unbounded store (cap ≤ 0) never evicts.
+	u := cutWarehouse{}
+	for i := 0; i < 40; i++ {
+		u.add(float64(i), 0, i)
+	}
+	if len(u.cuts) != 40 || u.evicted != 0 || u.version != 0 {
+		t.Fatalf("unbounded store: len=%d evicted=%d version=%d", len(u.cuts), u.evicted, u.version)
+	}
+}
+
+func TestWarehouseTouchOutOfRange(t *testing.T) {
+	w := cutWarehouse{cap: 2}
+	w.add(1, 1, 1)
+	w.touch(-1, 9)
+	w.touch(5, 9)
+	if w.cuts[0].lastUse != 1 {
+		t.Fatalf("out-of-range touch mutated the store: %+v", w.cuts)
+	}
+}

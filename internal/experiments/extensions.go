@@ -2,8 +2,11 @@ package experiments
 
 import (
 	"fmt"
+	"math"
+	"math/rand"
 
 	"rentplan/internal/arima"
+	"rentplan/internal/benders"
 	"rentplan/internal/core"
 	"rentplan/internal/demand"
 	"rentplan/internal/market"
@@ -250,6 +253,99 @@ func RiskFrontier(cfg *Config, lambdas []float64) ([]RiskPoint, error) {
 			return nil, err
 		}
 		out = append(out, RiskPoint{Lambda: l, ExpCost: plan.ExpCost, CVaR: plan.CVaR})
+	}
+	return out, nil
+}
+
+// ReductionPoint is one row of the SAA scenario-reduction study.
+type ReductionPoint struct {
+	// Kept is the number of scenarios the reduction retained; Vertices the
+	// size of the tree they fold into.
+	Kept     int
+	Vertices int
+	// Bound is the nested L-shaped lower bound (plus the transfer-out
+	// constant) on the folded tree; Gap its absolute deviation from the
+	// full-sample bound; Transport the transport-distance bound the
+	// reduction reports for the wait-and-see value error.
+	Bound     float64
+	Gap       float64
+	Transport float64
+}
+
+// ScenarioReductionStudy exercises the SAA + scenario-reduction pipeline on
+// an SRRP instance: sample an empirical fan of price paths from the model
+// tree, shrink it by transport-optimal backward reduction, fold the kept
+// paths back into a scenario tree, and solve each tree with the parallel
+// nested L-shaped method. The study reports how the optimal-value bound
+// degrades as scenarios are merged, next to the a-priori transport bound.
+func ScenarioReductionStudy(cfg *Config, keeps []int) ([]ReductionPoint, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(keeps) == 0 {
+		return nil, fmt.Errorf("experiments: no reduction targets")
+	}
+	base := stats.Discrete{
+		Values: []float64{0.056, 0.058, 0.060, 0.062, 0.064},
+		Probs:  []float64{0.15, 0.2, 0.3, 0.2, 0.15},
+	}
+	par := core.DefaultParams(market.C1Medium)
+	par.Solver.Progress = cfg.SolverProgress
+	lambdaOD, err := par.OnDemandRate()
+	if err != nil {
+		return nil, err
+	}
+	const stages, samples = 5, 48
+	bids := constSlice(stages, 0.060)
+	tree, err := scenario.Build(base, bids, lambdaOD, scenario.BuildConfig{
+		Stages:    stages,
+		MaxBranch: 3,
+		RootPrice: 0.060,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.DemandSeed))
+	fan, err := tree.SampleFan(samples, rng)
+	if err != nil {
+		return nil, err
+	}
+	dem := demand.Series(demand.NewTruncNormal(0.4, 0.2, cfg.DemandSeed), tree.Stages())
+	solveFan := func(f *scenario.Fan) (bound float64, vertices int, err error) {
+		ft, err := f.Tree()
+		if err != nil {
+			return 0, 0, err
+		}
+		res, b, err := core.SolveSRRPNestedLShaped(par, ft, dem, benders.NestedOptions{})
+		if err != nil {
+			return 0, 0, err
+		}
+		if !res.Converged {
+			return 0, 0, fmt.Errorf("experiments: nested solve did not converge (gap %g)", res.Cost-res.Bound)
+		}
+		return b, ft.N(), nil
+	}
+	fullBound, _, err := solveFan(fan)
+	if err != nil {
+		return nil, err
+	}
+	var out []ReductionPoint
+	for _, k := range keeps {
+		red, transport, err := fan.Reduce(k)
+		if err != nil {
+			return nil, err
+		}
+		bound, vertices, err := solveFan(red)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ReductionPoint{
+			Kept:      red.Len(),
+			Vertices:  vertices,
+			Bound:     bound,
+			Gap:       math.Abs(bound - fullBound),
+			Transport: transport,
+		})
 	}
 	return out, nil
 }

@@ -175,10 +175,53 @@ func TestRunExtensionsReport(t *testing.T) {
 	out := sb.String()
 	for _, want := range []string{
 		"capacitated DRRP", "forecast skill", "risk-aversion frontier",
-		"federation", "seed robustness",
+		"federation", "seed robustness", "SAA scenario reduction",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("extensions report missing %q", want)
 		}
+	}
+}
+
+func TestScenarioReductionStudy(t *testing.T) {
+	cfg := quickCfg(t)
+	keeps := []int{32, 8, 4}
+	pts, err := ScenarioReductionStudy(cfg, keeps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(keeps) {
+		t.Fatalf("points %d", len(pts))
+	}
+	prevVerts := 1 << 30
+	for i, p := range pts {
+		if p.Kept != keeps[i] {
+			t.Fatalf("point %d kept %d, want %d", i, p.Kept, keeps[i])
+		}
+		// Fewer scenarios fold into strictly smaller trees.
+		if p.Vertices >= prevVerts {
+			t.Fatalf("vertices did not shrink: %+v", pts)
+		}
+		prevVerts = p.Vertices
+		if p.Bound <= 0 || p.Gap < 0 || p.Transport < 0 {
+			t.Fatalf("degenerate point %+v", p)
+		}
+	}
+	// The transport bound grows as the reduction gets more aggressive.
+	if pts[len(pts)-1].Transport <= pts[0].Transport {
+		t.Fatalf("transport bound did not grow with aggressiveness: %+v", pts)
+	}
+	// Same config twice: the study is deterministic.
+	again, err := ScenarioReductionStudy(cfg, keeps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		if pts[i] != again[i] {
+			t.Fatalf("study not deterministic: %+v vs %+v", pts[i], again[i])
+		}
+	}
+	if _, err := ScenarioReductionStudy(cfg, nil); err == nil {
+		t.Fatal("want empty-keeps error")
 	}
 }

@@ -288,5 +288,15 @@ func RunExtensions(cfg *Config, w io.Writer) error {
 	fmt.Fprintf(w, "Fig.10 shape (saving grows with class power): %.0f%%\n", 100*f10)
 	fmt.Fprintf(w, "Fig.11 shape (sensitivity directions):        %.0f%%\n", 100*f11)
 	fmt.Fprintf(w, "Fig.12a shape (SRRP beats DRRP, on-demand worst): %.0f%%\n", 100*f12a)
+
+	fmt.Fprintf(w, "\n== Extension: SAA scenario reduction (c1.medium, nested L-shaped) ==\n")
+	rdp, err := ScenarioReductionStudy(cfg, []int{32, 16, 8, 4})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%8s %10s %12s %12s %12s\n", "kept", "vertices", "bound", "gap", "transport")
+	for _, p := range rdp {
+		fmt.Fprintf(w, "%8d %10d %12.4f %12.5f %12.5f\n", p.Kept, p.Vertices, p.Bound, p.Gap, p.Transport)
+	}
 	return nil
 }

@@ -35,6 +35,43 @@ type Basis struct {
 	Status []VarStatus
 }
 
+// ExtendAppendedRows returns a copy of the basis adjusted for a problem
+// that gained `added` constraint rows appended after the snapshot was
+// taken, with the variable set unchanged (numVars structural columns).
+// The new rows' slack columns enter the basis, which is the textbook
+// cutting-plane warm start: the appended slacks' duals start at zero, so
+// every reduced cost of the old optimum is preserved and the extended
+// basis is dual feasible for the grown problem — a violated cut surfaces
+// as a primal bound violation that the dual simplex of SolveFrom drives
+// out in a handful of pivots.
+//
+// The receiver is not modified. A nil receiver, a negative or zero added
+// count, or a snapshot whose dimensions are inconsistent with numVars
+// returns nil, which SolveFrom treats as a malformed basis and resolves
+// with the bit-identical cold path — so callers may chain
+// sol.Basis.ExtendAppendedRows(...) without guarding.
+func (b *Basis) ExtendAppendedRows(numVars, added int) *Basis {
+	if b == nil || added <= 0 || numVars < 0 {
+		return nil
+	}
+	oldRows := len(b.Columns)
+	if len(b.Status) != numVars+oldRows {
+		return nil
+	}
+	nb := &Basis{
+		Columns: make([]int, oldRows+added),
+		Status:  make([]VarStatus, numVars+oldRows+added),
+	}
+	copy(nb.Columns, b.Columns)
+	copy(nb.Status, b.Status)
+	for k := 0; k < added; k++ {
+		slack := numVars + oldRows + k
+		nb.Columns[oldRows+k] = slack
+		nb.Status[slack] = VarBasic
+	}
+	return nb
+}
+
 // Clone returns a deep copy of the basis.
 func (b *Basis) Clone() *Basis {
 	if b == nil {

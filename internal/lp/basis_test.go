@@ -1,0 +1,169 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// cutProblem builds a small LP whose optimum sits at a vertex that a later
+// appended cut separates, mimicking one iteration of a cutting-plane loop:
+// min −x−y st x+y ≤ 4, x ≤ 3, y ≤ 3.
+func cutProblem() *Problem {
+	p := &Problem{
+		C:     []float64{-1, -1},
+		Lower: []float64{0, 0},
+		Upper: []float64{3, 3},
+		SA:    []SparseRow{},
+	}
+	p.AddSparseRow([]int{0, 1}, []float64{1, 1}, LE, 4)
+	return p
+}
+
+func TestExtendAppendedRowsWarmStartsCutLoop(t *testing.T) {
+	p := cutProblem()
+	root, err := Solve(p)
+	if err != nil || root.Status != StatusOptimal {
+		t.Fatalf("root: %v %v", root, err)
+	}
+	// Append a violated cut x + 2y ≤ 5 and warm-start from the extended
+	// basis; the appended slack enters basic, so the install is dual
+	// feasible and the dual simplex (or at worst the repair/cold fallback)
+	// must reproduce the cold optimum.
+	grown := p.Clone()
+	grown.AddSparseRow([]int{0, 1}, []float64{1, 2}, LE, 5)
+	ext := root.Basis.ExtendAppendedRows(grown.NumVars(), 1)
+	if ext == nil {
+		t.Fatal("extension returned nil for a consistent snapshot")
+	}
+	if len(ext.Columns) != 2 || len(ext.Status) != grown.NumVars()+2 {
+		t.Fatalf("extension dims: %d columns, %d statuses", len(ext.Columns), len(ext.Status))
+	}
+	cold, err := Solve(grown)
+	if err != nil || cold.Status != StatusOptimal {
+		t.Fatalf("cold: %v %v", cold, err)
+	}
+	warm, err := SolveFrom(grown, ext, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Status != StatusOptimal {
+		t.Fatalf("warm status %v", warm.Status)
+	}
+	if warm.WarmStart == WarmNone {
+		t.Fatalf("warm start not attempted: %v", warm.WarmStart)
+	}
+	if math.Abs(warm.Obj-cold.Obj) > 1e-9*(1+math.Abs(cold.Obj)) {
+		t.Fatalf("warm obj %v, cold %v", warm.Obj, cold.Obj)
+	}
+	// The extended install lands one primal violation away from optimal, so
+	// the warm path must be strictly cheaper than the cold two-phase solve.
+	if warm.WarmStart == WarmFallback {
+		t.Fatalf("extended basis fell back to the cold path")
+	}
+}
+
+// TestExtendAppendedRowsMalformed pins the nil-returning degenerate cases;
+// SolveFrom treats a nil basis as malformed and falls back cold, so these
+// are safe to chain unchecked.
+func TestExtendAppendedRowsMalformed(t *testing.T) {
+	p := cutProblem()
+	root, err := Solve(p)
+	if err != nil || root.Status != StatusOptimal {
+		t.Fatalf("root: %v %v", root, err)
+	}
+	var nilBasis *Basis
+	if nilBasis.ExtendAppendedRows(2, 1) != nil {
+		t.Error("nil receiver must extend to nil")
+	}
+	if root.Basis.ExtendAppendedRows(2, 0) != nil {
+		t.Error("zero added rows must extend to nil")
+	}
+	if root.Basis.ExtendAppendedRows(2, -3) != nil {
+		t.Error("negative added rows must extend to nil")
+	}
+	if root.Basis.ExtendAppendedRows(7, 1) != nil {
+		t.Error("inconsistent numVars must extend to nil")
+	}
+	if root.Basis.ExtendAppendedRows(-1, 1) != nil {
+		t.Error("negative numVars must extend to nil")
+	}
+	// The receiver must stay untouched by a successful extension.
+	before := append([]int(nil), root.Basis.Columns...)
+	_ = root.Basis.ExtendAppendedRows(2, 3)
+	for i, c := range root.Basis.Columns {
+		if c != before[i] {
+			t.Fatalf("receiver mutated at row %d", i)
+		}
+	}
+}
+
+// TestExtendAppendedRowsFuzz appends 1–3 random cuts through the optimum of
+// random LPs and verifies the warm solve from the extended basis agrees with
+// the cold solve of the grown problem.
+func TestExtendAppendedRowsFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(4)
+		m := 1 + rng.Intn(4)
+		p := &Problem{
+			C:     make([]float64, n),
+			Lower: make([]float64, n),
+			Upper: make([]float64, n),
+			SA:    []SparseRow{},
+		}
+		for j := 0; j < n; j++ {
+			p.C[j] = -rng.Float64()
+			p.Upper[j] = 1 + rng.Float64()*4
+		}
+		for i := 0; i < m; i++ {
+			ix := make([]int, 0, n)
+			val := make([]float64, 0, n)
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.7 {
+					ix = append(ix, j)
+					val = append(val, 0.2+rng.Float64())
+				}
+			}
+			if len(ix) == 0 {
+				ix, val = []int{0}, []float64{1}
+			}
+			p.AddSparseRow(ix, val, LE, 1+rng.Float64()*float64(n))
+		}
+		root, err := Solve(p)
+		if err != nil || root.Status != StatusOptimal {
+			t.Fatalf("trial %d root: %v %v", trial, root, err)
+		}
+		grown := p.Clone()
+		added := 1 + rng.Intn(3)
+		for k := 0; k < added; k++ {
+			// A cut through a scaled-down optimum: violated whenever the
+			// optimum has positive coordinates.
+			ix := make([]int, 0, n)
+			val := make([]float64, 0, n)
+			rhs := 0.0
+			for j := 0; j < n; j++ {
+				c := 0.5 + rng.Float64()
+				ix = append(ix, j)
+				val = append(val, c)
+				rhs += c * root.X[j]
+			}
+			grown.AddSparseRow(ix, val, LE, rhs*(0.5+rng.Float64()*0.4))
+		}
+		cold, err := Solve(grown)
+		if err != nil {
+			t.Fatalf("trial %d cold: %v", trial, err)
+		}
+		warm, err := SolveFrom(grown, root.Basis.ExtendAppendedRows(n, added), Options{})
+		if err != nil {
+			t.Fatalf("trial %d warm: %v", trial, err)
+		}
+		if warm.Status != cold.Status {
+			t.Fatalf("trial %d: warm status %v, cold %v", trial, warm.Status, cold.Status)
+		}
+		if cold.Status == StatusOptimal &&
+			math.Abs(warm.Obj-cold.Obj) > 1e-8*(1+math.Abs(cold.Obj)) {
+			t.Fatalf("trial %d: warm obj %v, cold %v", trial, warm.Obj, cold.Obj)
+		}
+	}
+}

@@ -96,6 +96,47 @@ const (
 	// demand shortfall below it is rounding noise from plan extraction
 	// (see SnapTol), not a real unserved-demand event.
 	DemandTol = 1e-9
+
+	// DecompGapTol is the default convergence gap of the Benders
+	// decompositions (benders.Options.Tol, benders.NestedOptions.Tol): the
+	// master/recourse (or root-bound/forward-cost) gap at which the
+	// L-shaped iteration declares the bound proven. It must dominate LPTol,
+	// otherwise the subproblem LPs cannot certify the gap the
+	// decomposition is asked to close.
+	DecompGapTol = 1e-7
+
+	// ThetaFloorTol is the slack below zero admitted on the cost-to-go
+	// variable θ of the nested L-shaped vertex LPs. All stage costs are
+	// nonnegative, so θ ≥ 0 is a valid bound; the tiny negative floor
+	// absorbs the LP-rounding of early sweeps (a cut evaluated within
+	// LPTol of zero must not make the vertex LP infeasible before the
+	// bound has converged).
+	ThetaFloorTol = 1e-6
+
+	// ThetaDefaultLB is the default lower bound on the expected-recourse
+	// variable θ of the two-stage L-shaped master
+	// (benders.Options.ThetaLB). Before the first optimality cut arrives
+	// the master minimises θ freely, so the bound must be finite to keep
+	// the master LP bounded, yet far below any realistic recourse cost so
+	// it never binds at convergence.
+	ThetaDefaultLB = -1e7
+
+	// ProbMassTol is the drift allowance on probability masses that are
+	// exactly 1 in exact arithmetic (scenario probabilities of a
+	// two-stage problem, per-stage masses of a scenario tree). It bounds
+	// the accumulated rounding of summing a few hundred probabilities,
+	// far above DriftTol because the inputs themselves are often quotients
+	// of empirical counts.
+	ProbMassTol = 1e-6
+
+	// CutDedupTol is the relative coincidence tolerance of the nested
+	// Benders cut warehouse: a freshly generated cut whose slope and
+	// right-hand side both lie within CutDedupTol (scaled by magnitude) of
+	// a stored cut is the same supporting hyperplane re-derived at the
+	// same trial point, and is dropped rather than stored. It must stay
+	// well below DecompGapTol so deduplication can never discard a cut
+	// that would still move the bound by more than the convergence gap.
+	CutDedupTol = 1e-9
 )
 
 // Eq reports whether a and b are equal within the absolute tolerance tol.

@@ -47,4 +47,19 @@ func TestToleranceOrdering(t *testing.T) {
 	if !(SnapTol <= FeasTol) {
 		t.Error("SnapTol must not exceed FeasTol (snapped points must stay feasible)")
 	}
+	if !(LPTol < DecompGapTol) {
+		t.Error("LPTol must stay below DecompGapTol (subproblem LPs must certify the decomposition gap)")
+	}
+	if !(CutDedupTol < DecompGapTol) {
+		t.Error("CutDedupTol must stay below DecompGapTol (dedup must not discard gap-moving cuts)")
+	}
+	if !(DriftTol < ProbMassTol) {
+		t.Error("DriftTol must stay below ProbMassTol (mass drift allowance covers summation rounding)")
+	}
+	if !(ThetaDefaultLB < 0) {
+		t.Error("ThetaDefaultLB must be negative (the master must be able to underestimate the recourse)")
+	}
+	if !(ThetaFloorTol > LPTol) {
+		t.Error("ThetaFloorTol must exceed LPTol (the theta floor absorbs LP rounding)")
+	}
 }
