@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint test-analysis race check bench bench-sparse bench-dual bench-benders
+.PHONY: build test vet lint test-analysis race check bench bench-sparse bench-dual bench-benders serve-test bench-serve
 
 build:
 	$(GO) build ./...
@@ -53,3 +53,15 @@ bench-dual:
 # acceptance threshold and the 1e-6 relative bound agreement itself.
 bench-benders:
 	$(GO) test -run '^$$' -bench 'BenchmarkBendersNestedParallel' -benchtime 1x .
+
+# The rentpland daemon stack under the race detector: handler and
+# reentrancy suites (bit-identical concurrent-vs-serial objectives, zero
+# cross-tenant bleed) plus the loadtest smoke fleet.
+serve-test:
+	$(GO) test -race ./internal/serve/... ./cmd/rentpland/
+
+# The rentpland load benchmark: >= 1000 concurrent synthetic tenant plan
+# requests through the in-process daemon, recording p50/p99 latency and
+# plans/sec into BENCH_serve.json.
+bench-serve:
+	BENCH_SERVE_OUT=$(CURDIR)/BENCH_serve.json $(GO) test -run '^$$' -bench 'BenchmarkServeLoad' -benchtime 1x ./internal/serve/loadtest/

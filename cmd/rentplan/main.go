@@ -57,6 +57,12 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := validateFlags(*model, *workers, *saa, *reduce, *horizon, *stages, *branch); err != nil {
+		fmt.Fprintln(os.Stderr, "rentplan:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
@@ -237,8 +243,6 @@ func main() {
 			if tree, err = fan.Tree(); err != nil {
 				fatal(err)
 			}
-		} else if *reduce > 0 {
-			fatal(fmt.Errorf("-reduce requires -saa"))
 		}
 		res, bound, err := core.SolveSRRPNestedLShaped(par, tree, dem[:*stages+1],
 			benders.NestedOptions{Workers: *workers})
@@ -393,6 +397,40 @@ func emitJSON(v interface{}) {
 	if err := enc.Encode(v); err != nil {
 		fatal(err)
 	}
+}
+
+// validateFlags rejects nonsensical flag combinations before any work is
+// done. Usage errors exit 2 (distinct from runtime failures, which exit 1),
+// so scripts can tell a mistyped invocation from a failed solve.
+func validateFlags(model string, workers, saa, reduce, horizon, stages, branch int) error {
+	if workers < 0 {
+		return fmt.Errorf("-workers %d must be >= 0 (0 = all cores)", workers)
+	}
+	if saa < 0 {
+		return fmt.Errorf("-saa %d must be >= 0 (0 = solve the full tree)", saa)
+	}
+	if reduce < 0 {
+		return fmt.Errorf("-reduce %d must be >= 0 (0 = no reduction)", reduce)
+	}
+	if reduce > 0 && saa == 0 {
+		return fmt.Errorf("-reduce %d requires -saa", reduce)
+	}
+	if reduce > saa {
+		return fmt.Errorf("-reduce %d exceeds the -saa %d fan it reduces", reduce, saa)
+	}
+	if saa > 0 && model != "nested" {
+		return fmt.Errorf("-saa only applies to -model nested, not %q", model)
+	}
+	if horizon <= 0 {
+		return fmt.Errorf("-horizon %d must be > 0", horizon)
+	}
+	if stages < 0 {
+		return fmt.Errorf("-stages %d must be >= 0", stages)
+	}
+	if branch < 0 {
+		return fmt.Errorf("-branch %d must be >= 0 (0 = uncapped)", branch)
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateFlags pins the usage-error surface: every nonsensical flag
+// combination is rejected with a message naming the offending flag, and
+// every sensible one passes. main maps a non-nil error to exit code 2.
+func TestValidateFlags(t *testing.T) {
+	type args struct {
+		model                                     string
+		workers, saa, reduce, horizon, stages, br int
+	}
+	ok := args{model: "drrp", horizon: 24, stages: 5, br: 4}
+	cases := []struct {
+		name    string
+		args    args
+		wantErr string // empty = valid
+	}{
+		{"defaults", ok, ""},
+		{"nested with saa and reduce", args{model: "nested", saa: 64, reduce: 16, horizon: 24, stages: 8, br: 3}, ""},
+		{"saa without reduce", args{model: "nested", saa: 32, horizon: 24, stages: 8, br: 3}, ""},
+		{"all cores", args{model: "drrp", workers: 0, horizon: 24, stages: 5, br: 4}, ""},
+		{"negative workers", args{model: "drrp", workers: -1, horizon: 24, stages: 5, br: 4}, "-workers"},
+		{"negative saa", args{model: "nested", saa: -8, horizon: 24, stages: 8, br: 3}, "-saa"},
+		{"negative reduce", args{model: "nested", saa: 8, reduce: -1, horizon: 24, stages: 8, br: 3}, "-reduce"},
+		{"reduce without saa", args{model: "nested", reduce: 16, horizon: 24, stages: 8, br: 3}, "requires -saa"},
+		{"reduce exceeds saa", args{model: "nested", saa: 8, reduce: 16, horizon: 24, stages: 8, br: 3}, "exceeds the -saa"},
+		{"saa outside nested", args{model: "srrp", saa: 8, horizon: 24, stages: 5, br: 4}, "only applies to -model nested"},
+		{"zero horizon", args{model: "drrp", horizon: 0, stages: 5, br: 4}, "-horizon"},
+		{"negative stages", args{model: "srrp", horizon: 24, stages: -1, br: 4}, "-stages"},
+		{"negative branch", args{model: "srrp", horizon: 24, stages: 5, br: -2}, "-branch"},
+	}
+	for _, tc := range cases {
+		err := validateFlags(tc.args.model, tc.args.workers, tc.args.saa, tc.args.reduce,
+			tc.args.horizon, tc.args.stages, tc.args.br)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: no error, want one mentioning %q", tc.name, tc.wantErr)
+		} else if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}

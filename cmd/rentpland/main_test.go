@@ -1,0 +1,34 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestValidateFlags pins the daemon's usage-error surface (exit 2 in main).
+func TestValidateFlags(t *testing.T) {
+	ms := time.Millisecond
+	cases := []struct {
+		name           string
+		workers, queue int
+		budget, maxBud time.Duration
+		trees          int
+		wantErr        bool
+	}{
+		{"defaults", 0, 0, 250 * ms, 5000 * ms, 256, false},
+		{"explicit sizes", 4, 64, 0, 5000 * ms, 16, false},
+		{"negative workers", -1, 0, 250 * ms, 5000 * ms, 256, true},
+		{"negative queue", 0, -2, 250 * ms, 5000 * ms, 256, true},
+		{"queue below workers", 8, 4, 250 * ms, 5000 * ms, 256, true},
+		{"negative budget", 0, 0, -ms, 5000 * ms, 256, true},
+		{"zero max budget", 0, 0, 250 * ms, 0, 256, true},
+		{"budget above ceiling", 0, 0, 10000 * ms, 5000 * ms, 256, true},
+		{"zero cache", 0, 0, 250 * ms, 5000 * ms, 0, true},
+	}
+	for _, tc := range cases {
+		err := validateFlags(tc.workers, tc.queue, tc.budget, tc.maxBud, tc.trees)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: err=%v, wantErr=%v", tc.name, err, tc.wantErr)
+		}
+	}
+}

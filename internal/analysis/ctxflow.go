@@ -22,6 +22,14 @@ import (
 // reach, while rebinding it back to a derived context retires the taint on
 // that path. Scope is intraprocedural; contexts stored in struct fields are
 // assumed derived (the storing site is the place to check).
+//
+// A parameter whose type carries a `Context() context.Context` method —
+// *http.Request being the canonical case — is a context source too: an HTTP
+// handler owns a request-scoped context exactly the way a ctx parameter
+// does, so a handler that calls a context-blind solver entry point (or
+// substitutes context.Background()) detaches the solve from the client
+// disconnect it should observe. r.Context() and contexts derived from it
+// classify as derived.
 func CtxFlow() *Analyzer {
 	a := &Analyzer{
 		Name: "ctxflow",
@@ -47,6 +55,28 @@ var ctxVariant = map[string]string{
 
 func isContextType(t types.Type) bool {
 	return t != nil && t.String() == "context.Context"
+}
+
+// hasContextMethod reports whether t's method set contains a niladic
+// Context() context.Context — the shape of *http.Request and of any
+// request-like carrier type.
+func hasContextMethod(t types.Type) bool {
+	if t == nil || isContextType(t) {
+		return false
+	}
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		fn, ok := ms.At(i).Obj().(*types.Func)
+		if !ok || fn.Name() != "Context" {
+			continue
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if ok && sig.Params().Len() == 0 && sig.Results().Len() == 1 &&
+			isContextType(sig.Results().At(0).Type()) {
+			return true
+		}
+	}
+	return false
 }
 
 // foreignSet is the may-analysis fact: context variables that, on some path
@@ -95,18 +125,27 @@ const (
 )
 
 func ctxFlowFunc(p *Pass, ftype *ast.FuncType, body *ast.BlockStmt) {
-	// Scope: only functions that receive a context parameter.
+	// Scope: only functions that receive a context parameter or a
+	// request-like carrier (a param whose type has a Context() method).
 	params := make(map[types.Object]bool)
+	carriers := make(map[types.Object]bool)
 	hasCtxParam := false
 	if ftype.Params != nil {
 		for _, fld := range ftype.Params.List {
-			if !isContextType(p.TypeOf(fld.Type)) {
+			t := p.TypeOf(fld.Type)
+			var into map[types.Object]bool
+			switch {
+			case isContextType(t):
+				into = params
+			case hasContextMethod(t):
+				into = carriers
+			default:
 				continue
 			}
 			hasCtxParam = true
 			for _, name := range fld.Names {
 				if obj := p.Info.Defs[name]; obj != nil {
-					params[obj] = true
+					into[obj] = true
 				}
 			}
 		}
@@ -127,7 +166,7 @@ func ctxFlowFunc(p *Pass, ftype *ast.FuncType, body *ast.BlockStmt) {
 		return
 	}
 
-	cf := &ctxFlowPass{p: p, params: params}
+	cf := &ctxFlowPass{p: p, params: params, carriers: carriers}
 	g := flow.New(body)
 	in, _ := flow.Forward(g, flow.Analysis{
 		Entry: make(foreignSet),
@@ -153,8 +192,9 @@ func ctxFlowFunc(p *Pass, ftype *ast.FuncType, body *ast.BlockStmt) {
 }
 
 type ctxFlowPass struct {
-	p      *Pass
-	params map[types.Object]bool
+	p        *Pass
+	params   map[types.Object]bool
+	carriers map[types.Object]bool // request-like params with a Context() method
 }
 
 // step folds one CFG node: report solver call sites against the current
@@ -255,6 +295,9 @@ func (cf *ctxFlowPass) classify(e ast.Expr, set foreignSet) ctxClass {
 		if isBackgroundCall(cf.p, e) {
 			return ctxForeign
 		}
+		if cf.isCarrierContextCall(e) {
+			return ctxDerived
+		}
 		// A call mixing contexts (context.WithTimeout(ctx, d)) takes the
 		// class of its context arguments: derived wins over foreign so that
 		// merging a foreign value into a derived chain stays quiet.
@@ -270,6 +313,21 @@ func (cf *ctxFlowPass) classify(e ast.Expr, set foreignSet) ctxClass {
 		return class
 	}
 	return ctxUnknown
+}
+
+// isCarrierContextCall reports whether e is r.Context() on one of the
+// function's request-like carrier parameters: the request-scoped context,
+// and therefore derived by definition.
+func (cf *ctxFlowPass) isCarrierContextCall(e *ast.CallExpr) bool {
+	sel, ok := e.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Context" || len(e.Args) != 0 {
+		return false
+	}
+	recv, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return cf.carriers[cf.p.Info.Uses[recv]]
 }
 
 // isBackgroundCall reports whether e is context.Background() or

@@ -1,0 +1,70 @@
+package app
+
+import (
+	"context"
+	"time"
+
+	"example.com/lintmod/internal/httpq"
+	"example.com/lintmod/internal/lp"
+)
+
+// blindHandler receives a request (a context carrier) but calls the
+// context-blind solver entry point: a client disconnect never reaches the
+// solve. True positive via the carrier-parameter extension.
+func blindHandler(w httpq.ResponseWriter, r *httpq.Request, p *lp.Problem) {
+	sol, err := lp.Solve(p) // want rentlint/ctxflow
+	if err != nil || sol.Status != lp.StatusOptimal {
+		w.WriteHeader(500)
+		return
+	}
+	w.WriteHeader(200)
+}
+
+// backgroundHandler threads a fresh Background instead of the request
+// context: true positive.
+func backgroundHandler(w httpq.ResponseWriter, r *httpq.Request, p *lp.Problem) {
+	sol, err := lp.SolveCtx(context.Background(), p, lp.Options{}) // want rentlint/ctxflow
+	if err != nil || sol.Status != lp.StatusOptimal {
+		w.WriteHeader(500)
+		return
+	}
+	w.WriteHeader(200)
+}
+
+// branchDetachedHandler rebinds the request context to TODO on one branch;
+// the detached value may reach the solve: true positive.
+func branchDetachedHandler(w httpq.ResponseWriter, r *httpq.Request, p *lp.Problem, detach bool) {
+	ctx := r.Context()
+	if detach {
+		ctx = context.TODO()
+	}
+	sol, err := lp.SolveCtx(ctx, p, lp.Options{}) // want rentlint/ctxflow
+	if err != nil || sol.Status != lp.StatusOptimal {
+		w.WriteHeader(500)
+		return
+	}
+	w.WriteHeader(200)
+}
+
+// directHandler passes r.Context() straight into the solver: true negative.
+func directHandler(w httpq.ResponseWriter, r *httpq.Request, p *lp.Problem) {
+	sol, err := lp.SolveCtx(r.Context(), p, lp.Options{})
+	if err != nil || sol.Status != lp.StatusOptimal {
+		w.WriteHeader(500)
+		return
+	}
+	w.WriteHeader(200)
+}
+
+// derivedHandler derives a deadline from the request context; the chain
+// stays attached: true negative.
+func derivedHandler(w httpq.ResponseWriter, r *httpq.Request, p *lp.Problem) {
+	ctx, cancel := context.WithTimeout(r.Context(), time.Second)
+	defer cancel()
+	sol, err := lp.SolveCtx(ctx, p, lp.Options{})
+	if err != nil || sol.Status != lp.StatusOptimal {
+		w.WriteHeader(500)
+		return
+	}
+	w.WriteHeader(200)
+}

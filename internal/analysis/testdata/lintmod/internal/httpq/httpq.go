@@ -1,0 +1,26 @@
+// Package httpq is the corpus stand-in for net/http: a request type whose
+// Context() context.Context method makes any handler that receives one a
+// context source for the ctxflow analyzer, without pulling the real net/http
+// dependency graph into the corpus type-check.
+package httpq
+
+import "context"
+
+// Request mirrors the request-scoped context carrier shape of
+// *http.Request.
+type Request struct {
+	ctx context.Context
+}
+
+// Context returns the request's context; it is never nil.
+func (r *Request) Context() context.Context {
+	if r.ctx != nil {
+		return r.ctx
+	}
+	return context.Background()
+}
+
+// ResponseWriter is the minimal response surface the fixtures need.
+type ResponseWriter interface {
+	WriteHeader(status int)
+}

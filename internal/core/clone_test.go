@@ -1,0 +1,172 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"rentplan/internal/demand"
+	"rentplan/internal/market"
+	"rentplan/internal/stats"
+)
+
+func TestParamsCloneIsDeep(t *testing.T) {
+	p := DefaultParams(market.C1Medium)
+	p.ConsumptionRate = 1
+	p.Capacity = []float64{1, 2, 3}
+	q := p.Clone()
+
+	p.Capacity[0] = 99
+	p.Pricing.OnDemand[market.C1Medium] = 99
+
+	if q.Capacity[0] != 1 {
+		t.Fatalf("clone capacity mutated through original: %v", q.Capacity)
+	}
+	if rate, _ := q.OnDemandRate(); rate != 0.2 {
+		t.Fatalf("clone pricing mutated through original: %v", rate)
+	}
+	// Nil maps/slices must stay nil (not become empty non-nil).
+	var zero Params
+	z := zero.Clone()
+	if z.Capacity != nil || z.Pricing.OnDemand != nil {
+		t.Fatal("Clone materialised nil fields")
+	}
+}
+
+func TestExecConfigCloneIsDeep(t *testing.T) {
+	cfg := &ExecConfig{
+		Par:    DefaultParams(market.M1Large),
+		Actual: []float64{0.1, 0.2},
+		Demand: []float64{0.3, 0.4},
+		Base: stats.Discrete{
+			Values: []float64{0.05, 0.06},
+			Probs:  []float64{0.5, 0.5},
+		},
+		TreeStages: 2,
+	}
+	q := cfg.Clone()
+	cfg.Actual[0] = 9
+	cfg.Demand[0] = 9
+	cfg.Base.Values[0] = 9
+	cfg.Base.Probs[0] = 9
+	if q.Actual[0] != 0.1 || q.Demand[0] != 0.3 || q.Base.Values[0] != 0.05 || q.Base.Probs[0] != 0.5 {
+		t.Fatalf("clone shares backing arrays with original: %+v", q)
+	}
+	if q.TreeStages != 2 {
+		t.Fatalf("scalar fields lost: %+v", q)
+	}
+	var nilCfg *ExecConfig
+	if nilCfg.Clone() != nil {
+		t.Fatal("nil.Clone() != nil")
+	}
+}
+
+// TestCloneIsolatesConcurrentTenants is the -race regression test for the
+// request-scoped copying contract: one goroutine keeps rewriting a template
+// config (the way a server patches per-tenant overrides into a shared
+// default) while another executes a full rolling-horizon stochastic run on a
+// clone taken before the rewrites started. With a shallow copy in place of
+// Clone the two goroutines race on the Actual/Demand/Base backing arrays and
+// `go test -race` fails; with Clone the solve must also return the same
+// objective as an undisturbed serial run.
+func TestCloneIsolatesConcurrentTenants(t *testing.T) {
+	const T = 24
+	template := &ExecConfig{
+		Par:        DefaultParams(market.C1Medium),
+		Actual:     demand.Series(demand.NewTruncNormal(0.06, 0.005, 3), T),
+		Demand:     demand.Series(demand.NewTruncNormal(0.4, 0.2, 4), T),
+		Base:       baseDist(),
+		TreeStages: 3,
+		Replan:     2,
+	}
+	for i := range template.Actual {
+		if template.Actual[i] <= 0 {
+			template.Actual[i] = 0.06
+		}
+	}
+	bids := constants(T, 0.062)
+
+	// Undisturbed baseline on a private copy.
+	want, err := RunStochastic(template.Clone(), bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tenant := template.Clone()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Simulate the server patching the shared template for the next
+			// request: every field a solve reads gets rewritten.
+			template.Actual[i%T] = 0.05
+			template.Demand[i%T] = 0.9
+			template.Base.Probs[i%len(template.Base.Probs)] = 0.3
+			template.Par.Pricing.OnDemand[market.C1Medium] = 0.25
+		}
+	}()
+
+	got, err := RunStochastic(tenant, bids)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cost != want.Cost {
+		t.Fatalf("cloned tenant saw template mutations: cost %v, want %v", got.Cost, want.Cost)
+	}
+}
+
+// TestSharedTreeIsReadOnly guards the documented immutability contract of
+// cached scenario trees: many goroutines solving SRRP against one shared
+// tree must neither race (enforced by -race) nor perturb the tree, and every
+// solve must return the bit-identical objective of the serial path.
+func TestSharedTreeIsReadOnly(t *testing.T) {
+	par := DefaultParams(market.M1Large)
+	tr := srrpTree(t, 3, 0.060)
+	dem := []float64{0.4, 0.5, 0.3, 0.6}
+
+	serial, err := SolveSRRP(par, tr, dem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapPrice := append([]float64(nil), tr.Price...)
+	snapProb := append([]float64(nil), tr.Prob...)
+
+	const workers = 8
+	costs := make([]float64, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			pl, err := SolveSRRP(par, tr, dem)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			costs[w] = pl.ExpCost
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatal(errs[w])
+		}
+		if costs[w] != serial.ExpCost {
+			t.Fatalf("worker %d: cost %v != serial %v", w, costs[w], serial.ExpCost)
+		}
+	}
+	for i := range snapPrice {
+		if tr.Price[i] != snapPrice[i] || tr.Prob[i] != snapProb[i] {
+			t.Fatalf("shared tree mutated at vertex %d", i)
+		}
+	}
+}

@@ -272,7 +272,7 @@ func RunStochastic(cfg *ExecConfig, bids []float64) (*Outcome, error) {
 			replans++
 			if cfg.degradable() {
 				var rung DegradeRung
-				plan, rung = planStochasticLadder(cfg, bids, t, stages, inv)
+				plan, rung = planStochasticLadder(context.Background(), cfg, bids, t, stages, inv)
 				if rung != RungFull {
 					degs = append(degs, Degradation{Slot: t, Rung: rung})
 				}

@@ -80,11 +80,15 @@ func (c *ExecConfig) maxDegradedGap() float64 {
 	return 0.05
 }
 
-// planContext derives the context for one rolling-horizon re-solve: the
-// planning budget becomes a deadline, and the fault injector (tests only)
-// may replace it with an expired or canceled context.
-func (c *ExecConfig) planContext() (context.Context, context.CancelFunc, faults.Kind) {
-	ctx := context.Background()
+// planContext derives the context for one rolling-horizon re-solve from the
+// caller's context: the planning budget becomes a deadline layered on top of
+// whatever deadline or cancellation parent already carries, and the fault
+// injector (tests only) may replace it with an expired or canceled context.
+// The batch executors pass context.Background(), which reproduces the
+// historical behaviour bit for bit; a server passes the request context so
+// a disconnecting client aborts the solve.
+func (c *ExecConfig) planContext(parent context.Context) (context.Context, context.CancelFunc, faults.Kind) {
+	ctx := parent
 	cancel := context.CancelFunc(func() {})
 	if c.Budget > 0 {
 		ctx, cancel = context.WithTimeout(ctx, c.Budget)
@@ -101,8 +105,8 @@ func (c *ExecConfig) planContext() (context.Context, context.CancelFunc, faults.
 
 // planStochasticLadder runs one SRRP re-plan through the ladder. A nil plan
 // with RungOnDemand tells the caller to serve the slot just in time.
-func planStochasticLadder(cfg *ExecConfig, bids []float64, t, stages int, inv float64) (*StochasticPlan, DegradeRung) {
-	ctx, cancel, _ := cfg.planContext()
+func planStochasticLadder(parent context.Context, cfg *ExecConfig, bids []float64, t, stages int, inv float64) (*StochasticPlan, DegradeRung) {
+	ctx, cancel, _ := cfg.planContext(parent)
 	defer cancel()
 	plan, err := planStochastic(ctx, cfg, bids, t, stages, inv)
 	if err == nil && plan != nil {
@@ -120,8 +124,8 @@ func planStochasticLadder(cfg *ExecConfig, bids []float64, t, stages int, inv fl
 }
 
 // planDeterministicLadder runs one rolling DRRP re-plan through the ladder.
-func planDeterministicLadder(cfg *ExecConfig, prices, dem []float64, inv float64) (*Plan, DegradeRung) {
-	ctx, cancel, _ := cfg.planContext()
+func planDeterministicLadder(parent context.Context, cfg *ExecConfig, prices, dem []float64, inv float64) (*Plan, DegradeRung) {
+	ctx, cancel, _ := cfg.planContext(parent)
 	defer cancel()
 	par := cfg.Par
 	par.Epsilon = inv

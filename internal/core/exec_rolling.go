@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -43,7 +44,7 @@ func RunDeterministicRolling(cfg *ExecConfig, bids []float64) (*Outcome, error) 
 			replans++
 			if cfg.degradable() {
 				var rung DegradeRung
-				plan, rung = planDeterministicLadder(cfg, prices, cfg.Demand[t:T], inv)
+				plan, rung = planDeterministicLadder(context.Background(), cfg, prices, cfg.Demand[t:T], inv)
 				if rung != RungFull {
 					degs = append(degs, Degradation{Slot: t, Rung: rung})
 				}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// This file exports the single-step planning surface the serve layer (and
+// any other long-running caller) builds rolling-horizon tenants from. The
+// batch executors in exec.go replay a whole price trace in one call; a
+// server instead receives one slot's worth of state per request and needs
+// exactly one budgeted re-plan at a time, with the caller's context — not
+// context.Background() — threaded into the solve so client disconnects and
+// per-request deadlines abort it.
+
+// PlanStochasticStepCtx runs one rolling-horizon SRRP re-plan through the
+// degradation ladder: a scenario tree is built from cfg.Base and the bids,
+// rooted at slot t with the current inventory inv as the initial storage,
+// and solved under ctx layered with cfg.Budget and cfg.Faults (see
+// ExecConfig.planContext). The lookahead is cfg.TreeStages clamped to the
+// end of the horizon.
+//
+// The returned rung reports how the plan was obtained (RungFull down to
+// RungDP); a nil plan with RungOnDemand tells the caller to serve the slot
+// just in time and retry at the next slot. An error is returned only for
+// invalid inputs — planning failures degrade through the ladder instead.
+//
+// With ctx == context.Background() the result is bit-identical to the plan
+// RunStochastic would compute at the same (t, inv) state.
+func PlanStochasticStepCtx(ctx context.Context, cfg *ExecConfig, bids []float64, t int, inv float64) (*StochasticPlan, DegradeRung, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, RungOnDemand, err
+	}
+	if len(bids) != len(cfg.Demand) {
+		return nil, RungOnDemand, errors.New("core: bids length mismatch")
+	}
+	if t < 0 || t >= len(cfg.Demand) {
+		return nil, RungOnDemand, fmt.Errorf("core: slot %d outside horizon [0,%d)", t, len(cfg.Demand))
+	}
+	if !isFinite(inv) || inv < 0 {
+		return nil, RungOnDemand, fmt.Errorf("core: inventory %v not a finite non-negative number", inv)
+	}
+	stages := cfg.TreeStages
+	if stages < 0 {
+		stages = 0
+	}
+	if t+stages >= len(cfg.Demand) {
+		stages = len(cfg.Demand) - 1 - t
+	}
+	if stages > 0 && cfg.Base.Len() == 0 {
+		return nil, RungOnDemand, errors.New("core: stochastic planning needs a base distribution")
+	}
+	plan, rung := planStochasticLadder(ctx, cfg, bids, t, stages, inv)
+	return plan, rung, nil
+}
+
+// MatchChild returns the child of vertex v in the plan's tree whose state
+// corresponds to the realised price: the out-of-bid child when bid < actual,
+// otherwise the kept state with the closest price; -1 when v has no
+// children (the plan's horizon is exhausted and the caller must re-plan).
+// It lets a caller that executes a plan slot by slot — the serve layer's
+// per-tenant rolling replans — advance along the same tree path the batch
+// executor would follow.
+func (p *StochasticPlan) MatchChild(v int, actual, bid, lambda float64) int {
+	if p == nil || p.Tree == nil || v < 0 || v >= p.Tree.N() {
+		return -1
+	}
+	return matchChild(p.Tree, v, actual, bid, lambda)
+}

@@ -16,6 +16,7 @@ package faults
 import (
 	"context"
 	"math/rand"
+	"sync"
 	"time"
 )
 
@@ -62,9 +63,15 @@ type Config struct {
 }
 
 // Injector produces faulted planning contexts on a deterministic schedule.
-// It is not safe for concurrent use; the executor calls it from a single
-// goroutine.
+// It is safe for concurrent use: the rolling-horizon executors call it from
+// a single goroutine, but a multi-tenant server may share one injector
+// across every worker of its solver pool (chaos-testing all tenants on one
+// schedule), so the call counter and the seeded source are guarded by a
+// mutex. Under concurrent callers the schedule stays a deterministic
+// function of the call *order* (the interleaving itself is up to the
+// scheduler).
 type Injector struct {
+	mu    sync.Mutex
 	cfg   Config
 	rng   *rand.Rand
 	calls int
@@ -79,6 +86,7 @@ func New(seed int64, cfg Config) *Injector {
 // schedule. The returned cancel function must be called when the solve
 // finishes (it is a no-op for Kind None).
 func (in *Injector) PlanContext(ctx context.Context) (context.Context, context.CancelFunc, Kind) {
+	in.mu.Lock()
 	in.calls++
 	kind := None
 	switch {
@@ -91,6 +99,7 @@ func (in *Injector) PlanContext(ctx context.Context) (context.Context, context.C
 	case in.cfg.CancelProb > 0 && in.rng.Float64() < in.cfg.CancelProb:
 		kind = Cancel
 	}
+	in.mu.Unlock()
 	switch kind {
 	case Stall:
 		// time.Unix(0, 0) is in the past for any realistic clock, so the
@@ -106,4 +115,8 @@ func (in *Injector) PlanContext(ctx context.Context) (context.Context, context.C
 }
 
 // Calls reports how many planning calls the injector has observed.
-func (in *Injector) Calls() int { return in.calls }
+func (in *Injector) Calls() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.calls
+}

@@ -2,6 +2,7 @@ package faults
 
 import (
 	"context"
+	"sync"
 	"testing"
 )
 
@@ -80,5 +81,41 @@ func TestKindStrings(t *testing.T) {
 		if k.String() != w {
 			t.Errorf("%d.String() = %q, want %q", k, k.String(), w)
 		}
+	}
+}
+
+// TestConcurrentPlanContext shares one injector across many goroutines, the
+// way a multi-tenant solver pool chaos-testing every tenant on one schedule
+// does. Before the injector's mutex this test failed under -race: the call
+// counter increment and the seeded rand.Rand draws are plain mutable state.
+// The periodic rule also gives an interleaving-independent invariant — over
+// any 300 calls, StallEvery=3 must fire exactly 100 times.
+func TestConcurrentPlanContext(t *testing.T) {
+	in := New(7, Config{StallEvery: 3, CancelProb: 0.1})
+	const workers, perWorker = 10, 30
+	kinds := make([][]Kind, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			kinds[w] = schedule(in, perWorker)
+		}(w)
+	}
+	wg.Wait()
+	if got := in.Calls(); got != workers*perWorker {
+		t.Fatalf("Calls() = %d, want %d (lost increments)", got, workers*perWorker)
+	}
+	stalls := 0
+	for _, ks := range kinds {
+		for _, k := range ks {
+			if k == Stall {
+				stalls++
+			}
+		}
+	}
+	if stalls != workers*perWorker/3 {
+		t.Fatalf("StallEvery=3 fired %d times over %d calls, want exactly %d",
+			stalls, workers*perWorker, workers*perWorker/3)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"rentplan/internal/lotsize"
+	"rentplan/internal/lp"
 	"rentplan/internal/mip"
 	"rentplan/internal/scenario"
 )
@@ -31,6 +32,15 @@ type StochasticPlan struct {
 	// the exact DP paths and for proven-optimal MILP solves.
 	Degraded bool
 	Gap      float64
+	// Stats is the branch-and-bound progress snapshot of the MILP path (nil
+	// on the exact DP path), kept for telemetry: the serve layer turns its
+	// node/warm-start/iteration counters into per-request metrics.
+	Stats *mip.Stats
+	// RootBasis is the optimal basis of the MILP root relaxation (nil on
+	// the DP path). It is an immutable snapshot that a later solve over the
+	// same tree structure can feed back through Params.Solver.RootBasis to
+	// skip phase 1 at its own root.
+	RootBasis *lp.Basis
 }
 
 // SolveSRRP computes an optimal stochastic rental plan on the given
@@ -154,6 +164,8 @@ func solveSRRPMILP(ctx context.Context, par Params, tree *scenario.Tree, dem []f
 	if degraded {
 		p.Gap = sol.Gap
 	}
+	p.Stats = &sol.Stats
+	p.RootBasis = sol.RootBasis
 	return p, nil
 }
 

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"rentplan/internal/market"
+)
+
+// TestSRRPRootBasisReuse covers the telemetry/warm-start plumbing the serve
+// layer builds on: a capacitated SRRP solve publishes its MILP stats and
+// root basis, and a second tenant solving over the same shared tree can feed
+// that basis back through Params.Solver.RootBasis for a warm root with the
+// bit-identical expected cost.
+func TestSRRPRootBasisReuse(t *testing.T) {
+	par := DefaultParams(market.C1Medium)
+	par.ConsumptionRate = 1
+	par.Capacity = constants(4, 0.8) // binding enough to stay on the MILP path
+	par.Solver.Workers = 1
+	tr := srrpTree(t, 3, 0.060)
+	dem := []float64{0.4, 0.5, 0.3, 0.6}
+
+	first, err := SolveSRRP(par, tr, dem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats == nil || first.Stats.Nodes == 0 {
+		t.Fatalf("MILP path published no stats: %+v", first.Stats)
+	}
+	if first.RootBasis == nil {
+		t.Fatal("MILP path published no root basis")
+	}
+
+	par2 := par.Clone()
+	par2.Solver.RootBasis = first.RootBasis
+	second, err := SolveSRRP(par2, tr, dem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.ExpCost != first.ExpCost {
+		t.Fatalf("warm-root ExpCost %.12f != cold %.12f", second.ExpCost, first.ExpCost)
+	}
+	if second.Stats.ColdNodes != 0 {
+		t.Fatalf("warm-root solve dispatched %d cold nodes", second.Stats.ColdNodes)
+	}
+
+	// The DP path carries no solver telemetry.
+	dp, err := SolveSRRP(DefaultParams(market.C1Medium), tr, dem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.Stats != nil || dp.RootBasis != nil {
+		t.Fatal("DP path unexpectedly carries MILP telemetry")
+	}
+}

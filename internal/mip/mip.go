@@ -141,6 +141,14 @@ type Options struct {
 	// identical either way; the switch exists for A/B benchmarking and for
 	// isolating the warm-start machinery when debugging.
 	NoWarmStart bool
+	// RootBasis, when non-nil, warm-starts the root relaxation from a prior
+	// solve of the same (or a structurally identical) problem — typically
+	// the Solution.RootBasis of another tenant's solve over a shared
+	// scenario tree. A Basis is immutable, so one snapshot may be passed to
+	// any number of concurrent solves. A stale or mismatched basis is
+	// harmless: the simplex falls back to the bit-identical cold path.
+	// Ignored when NoWarmStart is set.
+	RootBasis *lp.Basis
 	// Workers is the number of branch-and-bound workers; ≤0 selects
 	// runtime.GOMAXPROCS(0). Workers = 1 preserves the deterministic
 	// serial search order.
@@ -193,6 +201,11 @@ type Solution struct {
 	// Stats is the final solver-progress snapshot (throughput, simplex
 	// iterations, incumbent trajectory, per-worker node counts).
 	Stats Stats
+	// RootBasis is the optimal basis of the root relaxation, captured so a
+	// later solve over the same problem structure can warm-start through
+	// Options.RootBasis. Nil when the root relaxation did not reach
+	// optimality. The snapshot is immutable and safe to share.
+	RootBasis *lp.Basis
 }
 
 type node struct {
@@ -331,6 +344,11 @@ type bnb struct {
 
 	progressMu   sync.Mutex
 	lastProgress time.Time
+
+	// rootBasis is the root relaxation's optimal basis. Written once by the
+	// single worker that pops the root node, read in finish() after the
+	// worker pool has drained — the WaitGroup orders the accesses.
+	rootBasis *lp.Basis
 }
 
 func newBnB(ctx context.Context, p *Problem, opts Options) *bnb {
@@ -391,6 +409,7 @@ func (b *bnb) run() *Solution {
 		upper:     append([]float64(nil), b.baseUpper...),
 		bound:     math.Inf(-1),
 		branchVar: -1,
+		basis:     b.opts.RootBasis, // nil → cold root, as before
 	}
 	heap.Init(&b.open)
 	heap.Push(&b.open, root)
@@ -638,6 +657,7 @@ func (b *bnb) finish() *Solution {
 	st.Bound = sol.Bound
 	st.Gap = sol.Gap
 	sol.Stats = st
+	sol.RootBasis = b.rootBasis
 	return sol
 }
 
@@ -733,6 +753,11 @@ func (b *bnb) processNode(id int, work *lp.Problem, nd *node) {
 			// limit, and the whole search winds down.
 			b.recordLostCtx(nd.bound)
 			return
+		}
+		if nd.branchVar < 0 {
+			// Root relaxation solved to optimality: publish its basis so the
+			// caller can warm-start sibling solves over the same structure.
+			b.rootBasis = sol.Basis
 		}
 		if nd.branchVar >= 0 && !math.IsInf(nd.bound, -1) {
 			// Pseudo-cost update: per-unit objective degradation of the

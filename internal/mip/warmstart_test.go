@@ -179,3 +179,69 @@ func TestWorkersAgreementWarm(t *testing.T) {
 		checkWarmAccounting(t, sol4.Stats)
 	}
 }
+
+// TestRootBasisReuse pins the cross-solve root warm start: a second solve of
+// the same problem fed the first solve's RootBasis must prove the identical
+// optimum with its root relaxation dispatched warm (no cold node anywhere in
+// the tree), and a structurally mismatched basis must fall back to the
+// bit-identical cold root rather than corrupt the solve.
+func TestRootBasisReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	p := lotSizingInstance(rng, 7)
+	first, err := SolveWithOptions(p, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Status != StatusOptimal {
+		t.Fatalf("first status %v", first.Status)
+	}
+	if first.RootBasis == nil {
+		t.Fatal("first solve published no RootBasis")
+	}
+	if first.Stats.ColdNodes != 1 {
+		t.Fatalf("first solve: %d cold nodes, want exactly the root", first.Stats.ColdNodes)
+	}
+
+	second, err := SolveWithOptions(p, Options{Workers: 1, RootBasis: first.RootBasis})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Status != StatusOptimal || second.Obj != first.Obj {
+		t.Fatalf("warm-root solve: status %v obj %.12f, want optimal %.12f", second.Status, second.Obj, first.Obj)
+	}
+	if second.Stats.ColdNodes != 0 {
+		t.Fatalf("warm-root solve still dispatched %d cold nodes: %+v", second.Stats.ColdNodes, second.Stats)
+	}
+	if second.RootBasis == nil {
+		t.Fatal("warm-root solve republished no RootBasis")
+	}
+	checkWarmAccounting(t, second.Stats)
+
+	// A basis from an unrelated, differently-sized problem must be rejected
+	// by the warm dispatch and fall back to the cold path with the same
+	// proven optimum.
+	other, err := SolveWithOptions(knapsackInstance(rng, 9), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale, err := SolveWithOptions(p, Options{Workers: 1, RootBasis: other.RootBasis})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale.Status != StatusOptimal || stale.Obj != first.Obj {
+		t.Fatalf("stale-basis solve: status %v obj %.12f, want optimal %.12f", stale.Status, stale.Obj, first.Obj)
+	}
+	checkWarmAccounting(t, stale.Stats)
+
+	// NoWarmStart must win over a supplied RootBasis.
+	noWarm, err := SolveWithOptions(p, Options{Workers: 1, NoWarmStart: true, RootBasis: first.RootBasis})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noWarm.Stats.WarmHits+noWarm.Stats.WarmMisses+noWarm.Stats.WarmDuals+noWarm.Stats.WarmFallbacks != 0 {
+		t.Fatalf("NoWarmStart run used the supplied root basis: %+v", noWarm.Stats)
+	}
+	if noWarm.Obj != first.Obj {
+		t.Fatalf("NoWarmStart obj %.12f, want %.12f", noWarm.Obj, first.Obj)
+	}
+}

@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"rentplan/internal/lp"
+	"rentplan/internal/scenario"
+	"rentplan/internal/stats"
+)
+
+// treeKey identifies one bid-adjusted scenario tree: VM class (fixing λ),
+// market state (base-distribution hash and current spot price), and the
+// planning shape (bid, lookahead, branch cap). Co-located tenants planning
+// against the same market share the same key, so they reuse one immutable
+// tree — and, on the capacitated MILP path, the root LP factorisation
+// captured as a basis snapshot from the first solve.
+type treeKey struct {
+	class     string
+	bid       float64
+	rootPrice float64
+	stages    int
+	maxBranch int
+	baseHash  uint64
+}
+
+// treeEntry is one cached tree plus the cross-tenant warm-start state that
+// rides along with it.
+type treeEntry struct {
+	tree *scenario.Tree // immutable once built (see internal/core/clone.go)
+
+	mu sync.Mutex
+	// rootBasis is the optimal root-relaxation basis of the first MILP
+	// solve over this tree, reused to warm-start later tenants' roots. The
+	// basis is only valid for one problem shape, so it is keyed by the
+	// demand/capacity hash of the solve that produced it.
+	rootBasis *lp.Basis
+	basisFor  uint64
+}
+
+// basisHash fingerprints the parts of a solve that determine the MILP
+// structure beyond the tree: the demand series and the capacity series.
+func basisHash(dem, capacity []float64) uint64 {
+	h := fnv.New64a()
+	hashFloats(h64writer{h}, dem)
+	hashFloats(h64writer{h}, capacity)
+	return h.Sum64()
+}
+
+// loadBasis returns the cached root basis when it was produced by a solve
+// with the same demand/capacity fingerprint.
+func (e *treeEntry) loadBasis(for64 uint64) *lp.Basis {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.rootBasis != nil && e.basisFor == for64 {
+		return e.rootBasis
+	}
+	return nil
+}
+
+// storeBasis publishes a root basis for the given fingerprint; the first
+// writer wins, later identical solves keep the existing snapshot.
+func (e *treeEntry) storeBasis(b *lp.Basis, for64 uint64) {
+	if b == nil {
+		return
+	}
+	e.mu.Lock()
+	if e.rootBasis == nil || e.basisFor != for64 {
+		e.rootBasis, e.basisFor = b, for64
+	}
+	e.mu.Unlock()
+}
+
+// treeCache is a bounded map of scenario trees shared by every tenant of
+// the daemon. Eviction is whole-generation: when the cache exceeds its cap
+// the oldest half (in insertion order) is dropped — simple, O(1) amortised,
+// and good enough for a working set of market states that changes slowly.
+type treeCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[treeKey]*treeEntry
+	order   []treeKey // insertion order for generational eviction
+}
+
+func newTreeCache(max int) *treeCache {
+	if max <= 0 {
+		max = 256
+	}
+	return &treeCache{max: max, entries: make(map[treeKey]*treeEntry)}
+}
+
+// getOrBuild returns the cached entry for the key, building the tree on a
+// miss. The build runs outside the cache lock: two racing builders for the
+// same key construct identical trees (Build is deterministic), and the
+// first insert wins. The hit return reports whether the tree was served
+// from the cache.
+func (c *treeCache) getOrBuild(key treeKey, build func() (*scenario.Tree, error)) (*treeEntry, bool, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		return e, true, nil
+	}
+	c.mu.Unlock()
+
+	tr, err := build()
+	if err != nil {
+		return nil, false, err
+	}
+	e := &treeEntry{tree: tr}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.entries[key]; ok {
+		// A racing builder got there first; its entry may already carry a
+		// root basis, so keep it.
+		return prev, false, nil
+	}
+	if len(c.order) >= c.max {
+		drop := c.order[:len(c.order)/2+1]
+		for _, k := range drop {
+			delete(c.entries, k)
+		}
+		c.order = append([]treeKey(nil), c.order[len(drop):]...)
+	}
+	c.entries[key] = e
+	c.order = append(c.order, key)
+	return e, false, nil
+}
+
+// len reports the number of cached trees.
+func (c *treeCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// keyFor derives the cache key for a request's tree.
+func keyFor(q *PlanRequest, base stats.Discrete) treeKey {
+	h := fnv.New64a()
+	hashFloats(h64writer{h}, base.Values)
+	hashFloats(h64writer{h}, base.Probs)
+	return treeKey{
+		class:     q.Class,
+		bid:       q.Bid,
+		rootPrice: q.RootPrice,
+		stages:    q.Stages,
+		maxBranch: q.MaxBranch,
+		baseHash:  h.Sum64(),
+	}
+}
+
+type h64writer struct {
+	h interface{ Write(p []byte) (int, error) }
+}
+
+func hashFloats(w h64writer, xs []float64) {
+	var buf [8]byte
+	for _, x := range xs {
+		bits := math.Float64bits(x)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		w.h.Write(buf[:])
+	}
+	// Separator so {1},{2} and {1,2},{} hash differently.
+	w.h.Write([]byte{0xff})
+}

@@ -1,0 +1,383 @@
+// Package metrics is a minimal, dependency-free metrics registry with
+// Prometheus text exposition (version 0.0.4) for the planning daemon.
+// It implements exactly the three instrument kinds the serve layer needs —
+// monotone counters, set-point gauges, and cumulative histograms — with
+// optional label vectors, and renders them in registration order so the
+// /v1/metrics payload is stable run to run.
+//
+// All instruments are safe for concurrent use: counters and gauges are
+// single atomic words (float64 bit patterns), histograms take a short
+// mutex per observation.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Add increases the counter by v; negative v is ignored (counters are
+// monotone by contract).
+func (c *Counter) Add(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by v (negative to decrease).
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram accumulates observations into cumulative buckets.
+type Histogram struct {
+	mu     sync.Mutex
+	uppers []float64 // ascending bucket upper bounds, +Inf implicit
+	counts []uint64  // per-bucket (non-cumulative) counts, len(uppers)+1
+	sum    float64
+	count  uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.uppers, v) // first upper >= v
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts by
+// linear interpolation inside the containing bucket, the same estimate
+// Prometheus's histogram_quantile computes. It returns NaN with no
+// observations; the top (+Inf) bucket reports its lower bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.count)
+	cum := 0.0
+	for i, n := range h.counts {
+		prev := cum
+		cum += float64(n)
+		if cum < rank || n == 0 {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.uppers[i-1]
+		}
+		if i == len(h.uppers) {
+			return lo // open-ended top bucket: report its lower bound
+		}
+		hi := h.uppers[i]
+		return lo + (hi-lo)*(rank-prev)/float64(n)
+	}
+	if len(h.uppers) == 0 {
+		return 0
+	}
+	return h.uppers[len(h.uppers)-1]
+}
+
+// DefBuckets are latency-shaped default buckets in seconds.
+var DefBuckets = []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// family is one named metric with zero or more labelled children.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels []string // label names for vectors; empty for scalars
+
+	mu       sync.Mutex
+	order    []string // child keys in first-use order
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	buckets  []float64 // histogram bucket template
+}
+
+// Registry holds metric families and renders them in registration order.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	names    map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: map[string]bool{}}
+}
+
+func (r *Registry) register(name, help string, kind metricKind, labels []string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[name] {
+		panic(fmt.Sprintf("metrics: duplicate metric %q", name))
+	}
+	r.names[name] = true
+	f := &family{
+		name: name, help: help, kind: kind, labels: labels,
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		buckets:  buckets,
+	}
+	r.families = append(r.families, f)
+	return f
+}
+
+// NewCounter registers a label-less counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	f := r.register(name, help, kindCounter, nil, nil)
+	return f.counter("")
+}
+
+// NewGauge registers a label-less gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	f := r.register(name, help, kindGauge, nil, nil)
+	return f.gauge("")
+}
+
+// NewHistogram registers a label-less histogram with the given ascending
+// bucket upper bounds (nil selects DefBuckets).
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	f := r.register(name, help, kindHistogram, nil, buckets)
+	return f.histogram("")
+}
+
+// CounterVec is a counter family partitioned by label values.
+type CounterVec struct{ f *family }
+
+// NewCounterVec registers a counter vector with the given label names.
+func (r *Registry) NewCounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, kindCounter, labelNames, nil)}
+}
+
+// With returns the child counter for the given label values (one per label
+// name, in order).
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	return v.f.counter(v.f.childKey(labelValues))
+}
+
+// HistogramVec is a histogram family partitioned by label values.
+type HistogramVec struct{ f *family }
+
+// NewHistogramVec registers a histogram vector (nil buckets selects
+// DefBuckets).
+func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	f := r.register(name, help, kindHistogram, labelNames, buckets)
+	return &HistogramVec{f}
+}
+
+// With returns the child histogram for the given label values.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	return v.f.histogram(v.f.childKey(labelValues))
+}
+
+func (f *family) childKey(labelValues []string) string {
+	if len(labelValues) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s expects %d label values, got %d", f.name, len(f.labels), len(labelValues)))
+	}
+	var sb strings.Builder
+	for i, name := range f.labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(name)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(labelValues[i]))
+		sb.WriteByte('"')
+	}
+	return sb.String()
+}
+
+func (f *family) counter(key string) *Counter {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.counters[key]
+	if !ok {
+		c = &Counter{}
+		f.counters[key] = c
+		f.order = append(f.order, key)
+	}
+	return c
+}
+
+func (f *family) gauge(key string) *Gauge {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	g, ok := f.gauges[key]
+	if !ok {
+		g = &Gauge{}
+		f.gauges[key] = g
+		f.order = append(f.order, key)
+	}
+	return g
+}
+
+func (f *family) histogram(key string) *Histogram {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	h, ok := f.hists[key]
+	if !ok {
+		h = &Histogram{
+			uppers: append([]float64(nil), f.buckets...),
+			counts: make([]uint64, len(f.buckets)+1),
+		}
+		f.hists[key] = h
+		f.order = append(f.order, key)
+	}
+	return h
+}
+
+// WriteTo renders every registered family in Prometheus text exposition
+// format.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	var n int64
+	for _, f := range fams {
+		m, err := f.writeTo(w)
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+func (f *family) writeTo(w io.Writer) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var sb strings.Builder
+	kind := map[metricKind]string{kindCounter: "counter", kindGauge: "gauge", kindHistogram: "histogram"}[f.kind]
+	fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, kind)
+	for _, key := range f.order {
+		switch f.kind {
+		case kindCounter:
+			fmt.Fprintf(&sb, "%s%s %s\n", f.name, braced(key), fmtFloat(f.counters[key].Value()))
+		case kindGauge:
+			fmt.Fprintf(&sb, "%s%s %s\n", f.name, braced(key), fmtFloat(f.gauges[key].Value()))
+		case kindHistogram:
+			h := f.hists[key]
+			h.mu.Lock()
+			cum := uint64(0)
+			for i, upper := range h.uppers {
+				cum += h.counts[i]
+				fmt.Fprintf(&sb, "%s_bucket%s %d\n", f.name, bracedLe(key, fmtFloat(upper)), cum)
+			}
+			cum += h.counts[len(h.uppers)]
+			fmt.Fprintf(&sb, "%s_bucket%s %d\n", f.name, bracedLe(key, "+Inf"), cum)
+			fmt.Fprintf(&sb, "%s_sum%s %s\n", f.name, braced(key), fmtFloat(h.sum))
+			fmt.Fprintf(&sb, "%s_count%s %d\n", f.name, braced(key), h.count)
+			h.mu.Unlock()
+		}
+	}
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+func braced(key string) string {
+	if key == "" {
+		return ""
+	}
+	return "{" + key + "}"
+}
+
+func bracedLe(key, le string) string {
+	if key == "" {
+		return `{le="` + le + `"}`
+	}
+	return "{" + key + `,le="` + le + `"}`
+}
+
+func fmtFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}

@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("reqs_total", "requests")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-1) // ignored: counters are monotone
+	if c.Value() != 3.5 {
+		t.Fatalf("counter = %v", c.Value())
+	}
+	g := r.NewGauge("inflight", "in-flight requests")
+	g.Set(4)
+	g.Add(-1.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat", "latency", []float64{1, 2, 4})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram must return NaN")
+	}
+	for _, v := range []float64{0.5, 0.5, 1.5, 1.5, 3, 3, 3, 3} {
+		h.Observe(v)
+	}
+	// 8 observations: buckets (≤1)=2, (1,2]=2, (2,4]=4.
+	if q := h.Quantile(0.25); q != 1 {
+		t.Fatalf("p25 = %v, want 1 (top of first bucket)", q)
+	}
+	if q := h.Quantile(0.5); q != 2 {
+		t.Fatalf("p50 = %v, want 2", q)
+	}
+	if q := h.Quantile(1); q != 4 {
+		t.Fatalf("p100 = %v, want 4", q)
+	}
+	h.Observe(100) // lands in +Inf bucket
+	if q := h.Quantile(0.999); q != 4 {
+		t.Fatalf("open-bucket quantile = %v, want the bucket's lower bound 4", q)
+	}
+	if h.Count() != 9 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestVectorsAndExposition(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("plans_total", "plans by model", "model", "rung")
+	v.With("srrp", "full").Add(3)
+	v.With("srrp", "dp").Inc()
+	v.With("srrp", "full").Inc() // same child
+	h := r.NewHistogram("lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE plans_total counter",
+		`plans_total{model="srrp",rung="full"} 4`,
+		`plans_total{model="srrp",rung="dp"} 1`,
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 2`,
+		"lat_seconds_sum 0.55",
+		"lat_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Stable order: families render in registration order.
+	if strings.Index(out, "plans_total") > strings.Index(out, "lat_seconds") {
+		t.Fatal("families out of registration order")
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c", "c")
+	h := r.NewHistogram("h", "h", nil)
+	v := r.NewCounterVec("v", "v", "k")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i) / 1000)
+				v.With("a").Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter lost increments: %v", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram lost observations: %d", h.Count())
+	}
+	if v.With("a").Value() != 8000 {
+		t.Fatalf("vector child lost increments: %v", v.With("a").Value())
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate name did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.NewCounter("x", "")
+	r.NewGauge("x", "")
+}

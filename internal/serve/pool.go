@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrQueueFull is returned by pool.do when admission control rejects the
+// request: the queue of admitted-but-not-yet-running solves is at capacity.
+// The HTTP layer maps it to 429 Too Many Requests.
+var ErrQueueFull = errors.New("serve: solver queue full")
+
+// pool bounds the daemon's solver concurrency with two limits: at most
+// `workers` solves run simultaneously, and at most `queue` requests may be
+// admitted (running + waiting) before new arrivals are rejected outright.
+// Rejection is immediate — a full queue never blocks the HTTP handler — and
+// a caller whose context dies while waiting for a worker slot leaves the
+// queue without running.
+type pool struct {
+	running chan struct{} // capacity: workers
+	queued  chan struct{} // capacity: queue (≥ workers)
+}
+
+func newPool(workers, queue int) *pool {
+	if workers <= 0 {
+		workers = 1
+	}
+	if queue < workers {
+		queue = workers
+	}
+	return &pool{
+		running: make(chan struct{}, workers),
+		queued:  make(chan struct{}, queue),
+	}
+}
+
+// do runs fn on a worker slot, waiting for one as long as ctx allows.
+// It returns ErrQueueFull when admission is rejected, ctx.Err() when the
+// caller gave up while queued, and nil after fn ran.
+func (p *pool) do(ctx context.Context, fn func()) error {
+	select {
+	case p.queued <- struct{}{}:
+	default:
+		return ErrQueueFull
+	}
+	defer func() { <-p.queued }()
+	select {
+	case p.running <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { <-p.running }()
+	fn()
+	return nil
+}
+
+// depth reports the currently admitted request count (running + waiting).
+func (p *pool) depth() int { return len(p.queued) }

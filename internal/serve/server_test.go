@@ -1,0 +1,337 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rentplan/internal/core"
+	"rentplan/internal/scenario"
+)
+
+// testServer returns a daemon with a small, deterministic configuration.
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	return New(Config{Workers: 2, Queue: 8, MaxBudget: time.Minute})
+}
+
+func postPlan(t *testing.T, s *Server, req interface{}) (*httptest.ResponseRecorder, *PlanResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/plan", bytes.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		return rec, nil
+	}
+	var resp PlanResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("response body: %v\n%s", err, rec.Body.String())
+	}
+	return rec, &resp
+}
+
+func drrpRequest() *PlanRequest {
+	return &PlanRequest{
+		Model:  "drrp",
+		Class:  "c1.medium",
+		Demand: []float64{2, 3, 1, 4, 2, 5},
+		Prices: []float64{0.05, 0.03, 0.06, 0.02, 0.05, 0.04},
+	}
+}
+
+func srrpRequest() *PlanRequest {
+	return &PlanRequest{
+		Model:      "srrp",
+		Class:      "c1.medium",
+		Demand:     []float64{2, 3, 1, 4},
+		Bid:        0.05,
+		Stages:     3,
+		RootPrice:  0.03,
+		BaseValues: []float64{0.02, 0.04, 0.07},
+		BaseProbs:  []float64{0.5, 0.3, 0.2},
+	}
+}
+
+func stepRequest(tenant string, slot int, inv float64) *PlanRequest {
+	return &PlanRequest{
+		Tenant:     tenant,
+		Model:      "step",
+		Class:      "c1.medium",
+		Demand:     []float64{2, 3, 1, 4, 2, 5, 3, 2},
+		Bid:        0.05,
+		Stages:     2,
+		RootPrice:  0.03,
+		BaseValues: []float64{0.02, 0.04, 0.07},
+		BaseProbs:  []float64{0.5, 0.3, 0.2},
+		Slot:       slot,
+		Inventory:  inv,
+		Replan:     3,
+	}
+}
+
+// TestPlanDRRPMatchesDirectSolve checks the HTTP path returns the same
+// objective as calling the solver directly.
+func TestPlanDRRPMatchesDirectSolve(t *testing.T) {
+	s := testServer(t)
+	req := drrpRequest()
+	rec, resp := postPlan(t, s, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	want, err := core.SolveDRRPCtx(context.Background(), req.params(), req.Prices, req.Demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cost != want.Cost {
+		t.Fatalf("cost %v over HTTP, %v direct", resp.Cost, want.Cost)
+	}
+	if len(resp.Alpha) != len(req.Demand) || len(resp.Chi) != len(req.Demand) {
+		t.Fatalf("decision lengths %d/%d, want %d", len(resp.Alpha), len(resp.Chi), len(req.Demand))
+	}
+	if resp.Rung != core.RungFull.String() {
+		t.Fatalf("rung %q", resp.Rung)
+	}
+}
+
+// TestPlanSRRPCacheAndMatch checks the stochastic path against a direct
+// solve and that a second identical request hits the tree cache.
+func TestPlanSRRPCacheAndMatch(t *testing.T) {
+	s := testServer(t)
+	req := srrpRequest()
+
+	rec, resp := postPlan(t, s, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp.CacheHit {
+		t.Fatal("first request reported a cache hit")
+	}
+
+	par := req.params()
+	lambda, err := par.OnDemandRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := scenario.Build(req.base(), req.bids(req.Stages), lambda, scenario.BuildConfig{
+		Stages: req.Stages, RootPrice: req.RootPrice,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.SolveSRRPCtx(context.Background(), par, tree, req.Demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cost != want.ExpCost {
+		t.Fatalf("expected cost %v over HTTP, %v direct", resp.Cost, want.ExpCost)
+	}
+	if resp.TreeVertices != tree.N() {
+		t.Fatalf("tree size %d, want %d", resp.TreeVertices, tree.N())
+	}
+	if resp.Rent == nil || resp.Generate == nil {
+		t.Fatal("missing here-and-now decision")
+	}
+
+	rec2, resp2 := postPlan(t, s, req)
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("second status %d", rec2.Code)
+	}
+	if !resp2.CacheHit {
+		t.Fatal("second identical request missed the tree cache")
+	}
+	if resp2.Cost != resp.Cost {
+		t.Fatalf("cached-tree cost %v differs from first %v", resp2.Cost, resp.Cost)
+	}
+	if s.cache.len() != 1 {
+		t.Fatalf("cache holds %d trees, want 1", s.cache.len())
+	}
+}
+
+// TestPlanSRRPWarmRoot checks a capacitated instance publishes a root basis
+// on the first solve and warm-starts the second tenant's root from it.
+func TestPlanSRRPWarmRoot(t *testing.T) {
+	s := testServer(t)
+	req := srrpRequest()
+	req.Capacity = []float64{4, 4, 4, 4}
+	req.ConsumptionRate = 1
+
+	rec, resp := postPlan(t, s, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp.WarmRoot {
+		t.Fatal("first capacitated solve claims a warm root")
+	}
+	if resp.Nodes == 0 {
+		t.Fatal("capacitated solve reported zero branch-and-bound nodes")
+	}
+
+	rec2, resp2 := postPlan(t, s, req)
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("second status %d", rec2.Code)
+	}
+	if !resp2.WarmRoot {
+		t.Fatal("second identical capacitated solve did not warm-start the root")
+	}
+	if resp2.Cost != resp.Cost {
+		t.Fatalf("warm cost %v differs from cold %v", resp2.Cost, resp.Cost)
+	}
+}
+
+// TestPlanStepReusesTenantPlan checks the rolling warm path: a plan from
+// slot 0 with stride 3 serves slots 1 and 2 without a new solve.
+func TestPlanStepReusesTenantPlan(t *testing.T) {
+	s := testServer(t)
+
+	rec, resp := postPlan(t, s, stepRequest("acme", 0, 0))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp.PlanReuse {
+		t.Fatal("first step request claims plan reuse")
+	}
+	if resp.Rent == nil || resp.Generate == nil {
+		t.Fatal("missing here-and-now decision")
+	}
+
+	for slot := 1; slot <= 2; slot++ {
+		rec, resp := postPlan(t, s, stepRequest("acme", slot, 1))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("slot %d status %d: %s", slot, rec.Code, rec.Body.String())
+		}
+		if !resp.PlanReuse {
+			t.Fatalf("slot %d inside the stride did not reuse the plan", slot)
+		}
+	}
+
+	// Slot 3 leaves the stride: a fresh solve.
+	rec, resp = postPlan(t, s, stepRequest("acme", 3, 1))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("slot 3 status %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp.PlanReuse {
+		t.Fatal("slot outside the stride reused the stale plan")
+	}
+
+	// A different tenant never sees acme's plan.
+	rec, resp = postPlan(t, s, stepRequest("globex", 1, 0))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("globex status %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp.PlanReuse {
+		t.Fatal("fresh tenant reused another tenant's plan")
+	}
+	if s.tenants.len() != 2 {
+		t.Fatalf("%d tenants registered, want 2", s.tenants.len())
+	}
+}
+
+// TestPlanValidationErrors checks the decoder rejects malformed requests
+// with 400 and never reaches a solver.
+func TestPlanValidationErrors(t *testing.T) {
+	s := testServer(t)
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"bad json", `{"model":`},
+		{"unknown field", `{"model":"drrp","bogus":1}`},
+		{"bad model", `{"model":"milp","class":"c1.medium","demand":[1]}`},
+		{"unknown class", `{"model":"drrp","class":"t2.nano","demand":[1],"prices":[1]}`},
+		{"negative demand", `{"model":"drrp","class":"c1.medium","demand":[1,-2],"prices":[1,1]}`},
+		{"zero price", `{"model":"drrp","class":"c1.medium","demand":[1,2],"prices":[1,0]}`},
+		{"price length", `{"model":"drrp","class":"c1.medium","demand":[1,2],"prices":[1]}`},
+		{"nan via string", `{"model":"drrp","class":"c1.medium","demand":[1,"NaN"],"prices":[1,1]}`},
+		{"negative budget", `{"model":"drrp","class":"c1.medium","demand":[1],"prices":[1],"budgetMs":-5}`},
+		{"srrp demand mismatch", `{"model":"srrp","class":"c1.medium","demand":[1,2],"stages":3,"bid":0.05,"rootPrice":0.03,"baseValues":[0.02,0.05]}`},
+		{"probs sum", `{"model":"srrp","class":"c1.medium","demand":[1,2],"stages":1,"bid":0.05,"rootPrice":0.03,"baseValues":[0.02,0.05],"baseProbs":[0.7,0.7]}`},
+		{"step without tenant", `{"model":"step","class":"c1.medium","demand":[1,2],"stages":1,"bid":0.05,"rootPrice":0.03,"baseValues":[0.02]}`},
+		{"step slot outside", `{"model":"step","tenant":"a","class":"c1.medium","demand":[1,2],"stages":1,"bid":0.05,"rootPrice":0.03,"baseValues":[0.02],"slot":2}`},
+	}
+	for _, tc := range cases {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/plan", strings.NewReader(tc.body)))
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", tc.name, rec.Code, rec.Body.String())
+			continue
+		}
+		var eb errorBody
+		if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil || eb.Error == "" {
+			t.Errorf("%s: no error message in %s", tc.name, rec.Body.String())
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/plan", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/plan: status %d, want 405", rec.Code)
+	}
+}
+
+// TestQueueFull checks admission control: with every queue slot occupied,
+// a new request is rejected immediately with 429.
+func TestQueueFull(t *testing.T) {
+	s := New(Config{Workers: 1, Queue: 1, MaxBudget: time.Minute})
+	// Occupy the only queue slot out-of-band.
+	s.pool.queued <- struct{}{}
+	defer func() { <-s.pool.queued }()
+
+	rec, _ := postPlan(t, s, drrpRequest())
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestHealthzAndMetrics checks the observability endpoints.
+func TestHealthzAndMetrics(t *testing.T) {
+	s := testServer(t)
+	if rec, _ := postPlan(t, s, srrpRequest()); rec.Code != http.StatusOK {
+		t.Fatalf("plan status %d", rec.Code)
+	}
+
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz status %d", rec.Code)
+	}
+	var hz struct {
+		Status      string `json:"status"`
+		Tenants     int    `json:"tenants"`
+		CachedTrees int    `json:"cachedTrees"`
+		QueueDepth  int    `json:"queueDepth"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Status != "ok" || hz.CachedTrees != 1 {
+		t.Fatalf("healthz %+v", hz)
+	}
+
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		`rentpland_requests_total{code="200"} 1`,
+		`rentpland_plans_total{model="srrp",rung="full"} 1`,
+		"rentpland_tree_cache_misses_total 1",
+		"rentpland_request_seconds_count",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+}

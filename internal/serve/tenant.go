@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"sync"
+
+	"rentplan/internal/core"
+	"rentplan/internal/lp"
+)
+
+// tenant holds the rolling-horizon state of one application between step
+// requests: the previous stochastic plan with the executed path through its
+// tree, and the last MILP root basis for warm-starting the next re-plan.
+// All fields are guarded by mu; a tenant's requests are serialised on it,
+// so two concurrent requests for the same tenant cannot interleave their
+// read-modify-write of the plan state (they queue, in arrival order at the
+// mutex). Distinct tenants share nothing except the immutable tree cache.
+type tenant struct {
+	mu sync.Mutex
+
+	// plan is the last stochastic plan; planStart its root slot; path the
+	// vertex path executed so far (path[0] == 0, the root).
+	plan      *core.StochasticPlan
+	planStart int
+	path      []int
+
+	// basis is the root basis of the tenant's last capacitated re-plan,
+	// fed back through Params.Solver.RootBasis on the next one. The MILP
+	// shape of a rolling re-plan changes with the remaining horizon, so the
+	// basis is fingerprinted like the cache's (basisFor) and only reused
+	// for a structurally identical solve.
+	basis    *lp.Basis
+	basisFor uint64
+}
+
+// tenants is the daemon's tenant registry.
+type tenants struct {
+	mu sync.Mutex
+	m  map[string]*tenant
+}
+
+func newTenants() *tenants { return &tenants{m: make(map[string]*tenant)} }
+
+// get returns the named tenant, creating it on first use.
+func (ts *tenants) get(name string) *tenant {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	t, ok := ts.m[name]
+	if !ok {
+		t = &tenant{}
+		ts.m[name] = t
+	}
+	return t
+}
+
+// len reports the number of known tenants.
+func (ts *tenants) len() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.m)
+}
+
+// decisionFromPlan tries to serve the decision for slot t from the
+// tenant's current plan without a new solve: the plan must be rooted at or
+// before t, within the rolling stride, and the realised prices must map
+// onto a tree path (MatchChild at every slot since the root). It returns
+// the plan vertex for slot t, or -1 when a re-plan is needed. Callers hold
+// t.mu.
+func (t *tenant) decisionFromPlan(slot, stride int, actual, bid, lambda float64) int {
+	if t.plan == nil || slot < t.planStart || slot >= t.planStart+stride {
+		return -1
+	}
+	k := slot - t.planStart
+	for len(t.path) <= k {
+		v := t.path[len(t.path)-1]
+		// Every intermediate slot advances with the same realised price the
+		// request reports for the current slot's root; in the common
+		// one-slot stride the loop runs at most once.
+		next := t.plan.MatchChild(v, actual, bid, lambda)
+		if next < 0 {
+			return -1 // horizon exhausted: force a re-plan
+		}
+		t.path = append(t.path, next)
+	}
+	return t.path[k]
+}
+
+// resetPlan installs a fresh plan rooted at slot.
+func (t *tenant) resetPlan(plan *core.StochasticPlan, slot int) {
+	t.plan = plan
+	t.planStart = slot
+	t.path = t.path[:0]
+	t.path = append(t.path, 0)
+}
