@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint test-analysis race check bench bench-sparse bench-dual bench-benders serve-test bench-serve
+.PHONY: build test vet lint test-analysis race check bench bench-sparse bench-dual bench-benders serve-test bench-serve bench-fleet
 
 build:
 	$(GO) build ./...
@@ -65,3 +65,11 @@ serve-test:
 # plans/sec into BENCH_serve.json.
 bench-serve:
 	BENCH_SERVE_OUT=$(CURDIR)/BENCH_serve.json $(GO) test -run '^$$' -bench 'BenchmarkServeLoad' -benchtime 1x ./internal/serve/loadtest/
+
+# The fleet simulator benchmark: a 100k-ASP population over 16 week-long
+# market epochs, event-driven sharded core vs the naive slot-polling walk.
+# The benchmark enforces the >= 10x ASP-slots/sec speedup acceptance gate
+# and shard-count {1,4,8} bit-identity itself; p50 epoch latency and
+# ASP-slots/sec are recorded into BENCH_fleet.json.
+bench-fleet:
+	BENCH_FLEET_OUT=$(CURDIR)/BENCH_fleet.json $(GO) test -run '^$$' -bench 'BenchmarkFleet' -benchtime 1x .

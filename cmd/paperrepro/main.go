@@ -26,7 +26,7 @@ func main() {
 		search  = flag.Bool("search-orders", false, "run the (slow) SARIMA order search for Fig. 8")
 		out     = flag.String("out", "", "output file (default stdout)")
 		seed    = flag.Int64("seed", 7, "seed for the quick configuration")
-		noExt   = flag.Bool("no-extensions", false, "skip the beyond-the-paper extension studies (capacity, forecast skill, risk, federation, SAA scenario reduction)")
+		noExt   = flag.Bool("no-extensions", false, "skip the beyond-the-paper extension studies (capacity, forecast skill, risk, federation, SAA scenario reduction, fleet market equilibrium)")
 		budget  = flag.Duration("budget", 0, "wall-clock budget per rolling re-solve in the Fig. 12 executors (0 = unlimited)")
 		verbose = flag.Bool("verbose", false, "stream MILP solver statistics (warm-start dispatch, dual-simplex and eta-file counters) to stderr")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")

@@ -9,6 +9,7 @@
 //	rentplan -model srrp -class c1.medium -stages 5 -bid 0.061 -days 60
 //	rentplan -model nested -class c1.medium -stages 8 -branch 3 -saa 64 -reduce 16
 //	rentplan -model exec -class c1.medium -horizon 48 -budget 50ms
+//	rentplan -model fleet -class c1.medium -asps 100000 -shards 8 -epochs 12 -feedback 0.3
 //	rentplan -spec instance.json
 package main
 
@@ -16,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 
@@ -24,6 +26,7 @@ import (
 	"rentplan/internal/benders"
 	"rentplan/internal/core"
 	"rentplan/internal/demand"
+	"rentplan/internal/fleet"
 	"rentplan/internal/market"
 	"rentplan/internal/mip"
 	"rentplan/internal/scenario"
@@ -33,7 +36,7 @@ import (
 
 func main() {
 	var (
-		model      = flag.String("model", "drrp", "planning model: drrp, srrp, nested (parallel nested L-shaped LP bound), or exec (rolling-horizon execution)")
+		model      = flag.String("model", "drrp", "planning model: drrp, srrp, nested (parallel nested L-shaped LP bound), exec (rolling-horizon execution), or fleet (event-driven sharded fleet simulation)")
 		class      = flag.String("class", "c1.medium", "VM class (c1.medium, m1.large, m1.xlarge, c1.xlarge)")
 		horizon    = flag.Int("horizon", 24, "DRRP planning horizon in hours")
 		demandMean = flag.Float64("demand-mean", 0.4, "hourly demand mean (GB)")
@@ -54,10 +57,14 @@ func main() {
 		reduce     = flag.Int("reduce", 0, "nested mode: reduce the SAA fan to this many scenarios by transport-optimal backward reduction (0 = no reduction; requires -saa)")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		asps       = flag.Int("asps", 1000, "fleet mode: ASP population size")
+		shards     = flag.Int("shards", 4, "fleet mode: worker shards the population is partitioned across")
+		epochs     = flag.Int("epochs", 8, "fleet mode: market epochs to simulate (each -horizon hours long)")
+		feedback   = flag.Float64("feedback", 0, "fleet mode: demand/price feedback gain (0 = open loop)")
 	)
 	flag.Parse()
 
-	if err := validateFlags(*model, *workers, *saa, *reduce, *horizon, *stages, *branch); err != nil {
+	if err := validateFlags(*model, *workers, *saa, *reduce, *horizon, *stages, *branch, *asps, *shards, *epochs, *feedback); err != nil {
 		fmt.Fprintln(os.Stderr, "rentplan:", err)
 		flag.Usage()
 		os.Exit(2)
@@ -348,8 +355,50 @@ func main() {
 			fmt.Printf("degraded replans: 0\n")
 		}
 
+	case "fleet":
+		pop, err := fleet.SamplePopulation(*asps, market.VMClass(*class), *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fcfg := &fleet.Config{
+			Class:      market.VMClass(*class),
+			Population: pop,
+			Shards:     *shards,
+			Epochs:     *epochs,
+			EpochHours: *horizon,
+			Feedback:   *feedback,
+			Seed:       *seed,
+		}
+		res, err := fleet.Run(fcfg)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			emitJSON(map[string]interface{}{
+				"model": "fleet", "class": *class, "asps": *asps,
+				"shards": *shards, "epochs": *epochs, "epochHours": *horizon,
+				"feedback": *feedback, "totalCost": res.TotalCost,
+				"demandGB": res.DemandGB, "finalBaseSpot": res.FinalBaseSpot,
+				"slotsSimulated": res.SlotsSimulated, "wakes": res.Wakes,
+				"solves": res.Solves, "epochReports": res.Epochs,
+			})
+			return
+		}
+		fmt.Printf("fleet simulation for %s: %d ASPs, %d shards, %d epochs of %dh (feedback gain %.2f)\n",
+			*class, *asps, *shards, *epochs, *horizon, *feedback)
+		fmt.Printf("%-6s %10s %10s %12s %10s\n", "epoch", "base $/h", "mean $/h", "spot slots", "wakes")
+		for _, rep := range res.Epochs {
+			fmt.Printf("%-6d %10.4f %10.4f %12d %10d\n",
+				rep.Epoch, rep.BaseSpot, rep.MeanPrice, rep.SpotSlots, rep.Wakes)
+		}
+		fmt.Printf("\ntotal cost      : $%.2f\n", res.TotalCost)
+		fmt.Printf("demand served   : %.1f GB\n", res.DemandGB)
+		fmt.Printf("final base spot : $%.4f/h\n", res.FinalBaseSpot)
+		fmt.Printf("ASP-slots       : %d (%d wakes, %.2f%% of slots)\n",
+			res.SlotsSimulated, res.Wakes, 100*float64(res.Wakes)/float64(res.SlotsSimulated))
+
 	default:
-		fatal(fmt.Errorf("unknown model %q (want drrp, srrp, nested, or exec)", *model))
+		fatal(fmt.Errorf("unknown model %q (want drrp, srrp, nested, exec, or fleet)", *model))
 	}
 }
 
@@ -402,9 +451,24 @@ func emitJSON(v interface{}) {
 // validateFlags rejects nonsensical flag combinations before any work is
 // done. Usage errors exit 2 (distinct from runtime failures, which exit 1),
 // so scripts can tell a mistyped invocation from a failed solve.
-func validateFlags(model string, workers, saa, reduce, horizon, stages, branch int) error {
+func validateFlags(model string, workers, saa, reduce, horizon, stages, branch, asps, shards, epochs int, feedback float64) error {
 	if workers < 0 {
 		return fmt.Errorf("-workers %d must be >= 0 (0 = all cores)", workers)
+	}
+	if asps <= 0 {
+		return fmt.Errorf("-asps %d must be > 0", asps)
+	}
+	if shards <= 0 {
+		return fmt.Errorf("-shards %d must be > 0", shards)
+	}
+	if epochs <= 0 {
+		return fmt.Errorf("-epochs %d must be > 0", epochs)
+	}
+	if feedback < 0 || math.IsNaN(feedback) || math.IsInf(feedback, 0) {
+		return fmt.Errorf("-feedback %v must be a finite non-negative gain", feedback)
+	}
+	if feedback > 0 && model != "fleet" {
+		return fmt.Errorf("-feedback only applies to -model fleet, not %q", model)
 	}
 	if saa < 0 {
 		return fmt.Errorf("-saa %d must be >= 0 (0 = solve the full tree)", saa)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -12,30 +13,62 @@ func TestValidateFlags(t *testing.T) {
 	type args struct {
 		model                                     string
 		workers, saa, reduce, horizon, stages, br int
+		asps, shards, epochs                      int
+		feedback                                  float64
 	}
-	ok := args{model: "drrp", horizon: 24, stages: 5, br: 4}
-	cases := []struct {
+	// ok carries the positive fleet defaults every non-fleet invocation
+	// inherits from the flag declarations.
+	ok := args{model: "drrp", horizon: 24, stages: 5, br: 4, asps: 1000, shards: 4, epochs: 8}
+	withModel := func(model string) args {
+		a := ok
+		a.model = model
+		return a
+	}
+	fleetOK := withModel("fleet")
+	fleetOK.feedback = 0.3
+	type tcase struct {
 		name    string
 		args    args
 		wantErr string // empty = valid
-	}{
-		{"defaults", ok, ""},
-		{"nested with saa and reduce", args{model: "nested", saa: 64, reduce: 16, horizon: 24, stages: 8, br: 3}, ""},
-		{"saa without reduce", args{model: "nested", saa: 32, horizon: 24, stages: 8, br: 3}, ""},
-		{"all cores", args{model: "drrp", workers: 0, horizon: 24, stages: 5, br: 4}, ""},
-		{"negative workers", args{model: "drrp", workers: -1, horizon: 24, stages: 5, br: 4}, "-workers"},
-		{"negative saa", args{model: "nested", saa: -8, horizon: 24, stages: 8, br: 3}, "-saa"},
-		{"negative reduce", args{model: "nested", saa: 8, reduce: -1, horizon: 24, stages: 8, br: 3}, "-reduce"},
-		{"reduce without saa", args{model: "nested", reduce: 16, horizon: 24, stages: 8, br: 3}, "requires -saa"},
-		{"reduce exceeds saa", args{model: "nested", saa: 8, reduce: 16, horizon: 24, stages: 8, br: 3}, "exceeds the -saa"},
-		{"saa outside nested", args{model: "srrp", saa: 8, horizon: 24, stages: 5, br: 4}, "only applies to -model nested"},
-		{"zero horizon", args{model: "drrp", horizon: 0, stages: 5, br: 4}, "-horizon"},
-		{"negative stages", args{model: "srrp", horizon: 24, stages: -1, br: 4}, "-stages"},
-		{"negative branch", args{model: "srrp", horizon: 24, stages: 5, br: -2}, "-branch"},
 	}
+	cases := []tcase{
+		{"defaults", ok, ""},
+		{"nested with saa and reduce", args{model: "nested", saa: 64, reduce: 16, horizon: 24, stages: 8, br: 3, asps: 1000, shards: 4, epochs: 8}, ""},
+		{"saa without reduce", args{model: "nested", saa: 32, horizon: 24, stages: 8, br: 3, asps: 1000, shards: 4, epochs: 8}, ""},
+		{"all cores", args{model: "drrp", workers: 0, horizon: 24, stages: 5, br: 4, asps: 1000, shards: 4, epochs: 8}, ""},
+		{"fleet with feedback", fleetOK, ""},
+		{"negative workers", args{model: "drrp", workers: -1, horizon: 24, stages: 5, br: 4, asps: 1000, shards: 4, epochs: 8}, "-workers"},
+		{"negative saa", args{model: "nested", saa: -8, horizon: 24, stages: 8, br: 3, asps: 1000, shards: 4, epochs: 8}, "-saa"},
+		{"negative reduce", args{model: "nested", saa: 8, reduce: -1, horizon: 24, stages: 8, br: 3, asps: 1000, shards: 4, epochs: 8}, "-reduce"},
+		{"reduce without saa", args{model: "nested", reduce: 16, horizon: 24, stages: 8, br: 3, asps: 1000, shards: 4, epochs: 8}, "requires -saa"},
+		{"reduce exceeds saa", args{model: "nested", saa: 8, reduce: 16, horizon: 24, stages: 8, br: 3, asps: 1000, shards: 4, epochs: 8}, "exceeds the -saa"},
+		{"saa outside nested", args{model: "srrp", saa: 8, horizon: 24, stages: 5, br: 4, asps: 1000, shards: 4, epochs: 8}, "only applies to -model nested"},
+		{"zero horizon", args{model: "drrp", horizon: 0, stages: 5, br: 4, asps: 1000, shards: 4, epochs: 8}, "-horizon"},
+		{"negative stages", args{model: "srrp", horizon: 24, stages: -1, br: 4, asps: 1000, shards: 4, epochs: 8}, "-stages"},
+		{"negative branch", args{model: "srrp", horizon: 24, stages: 5, br: -2, asps: 1000, shards: 4, epochs: 8}, "-branch"},
+	}
+	// Fleet flag rejections: zero and negative counts, non-finite or
+	// negative gain, and the gain outside fleet mode — all before any work.
+	mutate := func(f func(*args)) args {
+		a := fleetOK
+		f(&a)
+		return a
+	}
+	cases = append(cases,
+		tcase{"zero asps", mutate(func(a *args) { a.asps = 0 }), "-asps"},
+		tcase{"negative asps", mutate(func(a *args) { a.asps = -5 }), "-asps"},
+		tcase{"zero shards", mutate(func(a *args) { a.shards = 0 }), "-shards"},
+		tcase{"negative shards", mutate(func(a *args) { a.shards = -2 }), "-shards"},
+		tcase{"zero epochs", mutate(func(a *args) { a.epochs = 0 }), "-epochs"},
+		tcase{"negative epochs", mutate(func(a *args) { a.epochs = -3 }), "-epochs"},
+		tcase{"negative feedback", mutate(func(a *args) { a.feedback = -0.1 }), "-feedback"},
+		tcase{"nan feedback", mutate(func(a *args) { a.feedback = math.NaN() }), "-feedback"},
+		tcase{"feedback outside fleet", mutate(func(a *args) { a.model = "exec" }), "only applies to -model fleet"},
+	)
 	for _, tc := range cases {
 		err := validateFlags(tc.args.model, tc.args.workers, tc.args.saa, tc.args.reduce,
-			tc.args.horizon, tc.args.stages, tc.args.br)
+			tc.args.horizon, tc.args.stages, tc.args.br,
+			tc.args.asps, tc.args.shards, tc.args.epochs, tc.args.feedback)
 		if tc.wantErr == "" {
 			if err != nil {
 				t.Errorf("%s: unexpected error %v", tc.name, err)

@@ -7,12 +7,13 @@ import (
 )
 
 // deterministicPkgs are the package-path suffixes whose results must be
-// bit-identical across runs and worker counts: the solver stack and the
-// exact lot-sizing DPs. See the package comment of internal/mip for the
-// guarantee nondeterm protects.
+// bit-identical across runs and worker counts: the solver stack, the exact
+// lot-sizing DPs, and the sharded fleet simulator (whose Shards: N runs
+// promise bit-identity with serial). See the package comment of
+// internal/mip for the guarantee nondeterm protects.
 var deterministicPkgs = []string{
 	"internal/lp", "internal/mip", "internal/core", "internal/lotsize",
-	"internal/benders",
+	"internal/benders", "internal/fleet",
 }
 
 // NonDeterm flags sources of run-to-run nondeterminism inside the

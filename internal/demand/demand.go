@@ -90,6 +90,12 @@ func sin24(t int) float64 {
 	return sinTable[((t%24)+24)%24]
 }
 
+// Sin24 exposes the tabulated 24-hour sine used by Diurnal. The fleet
+// simulator's event engine integrates diurnal demand over whole segments via
+// prefix sums of exactly these values, so per-segment accounting agrees with
+// the per-slot Diurnal.At walk it replaces.
+func Sin24(t int) float64 { return sin24(t) }
+
 var sinTable = func() [24]float64 {
 	var tbl [24]float64
 	for i := 0; i < 24; i++ {

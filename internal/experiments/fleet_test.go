@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"rentplan/internal/market"
+)
+
+func TestFleetEquilibriumStudy(t *testing.T) {
+	pts, err := FleetEquilibriumStudy(market.C1Medium, 2000, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 8 {
+		t.Fatalf("got %d epochs, want 8", len(pts))
+	}
+	// The study opens oversubscribed, so the feedback loop must raise the
+	// clearing level above the calibrated base...
+	gc, _ := market.DefaultGenConfig(market.C1Medium)
+	last := pts[len(pts)-1]
+	if last.BaseSpot <= gc.BaseSpot {
+		t.Fatalf("clearing level %v never rose above the calibrated base %v", last.BaseSpot, gc.BaseSpot)
+	}
+	// ...which prices marginal bidders out: closing utilisation below the
+	// opening oversubscription.
+	if last.Utilisation >= pts[0].Utilisation {
+		t.Fatalf("utilisation did not fall: open %v close %v", pts[0].Utilisation, last.Utilisation)
+	}
+	for _, p := range pts {
+		if p.WakeFraction <= 0 || p.WakeFraction > 0.25 {
+			t.Fatalf("epoch %d wake fraction %v outside the event-driven regime", p.Epoch, p.WakeFraction)
+		}
+	}
+	// Deterministic: a second run reproduces the table bit for bit.
+	again, err := FleetEquilibriumStudy(market.C1Medium, 2000, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		if pts[i] != again[i] {
+			t.Fatalf("epoch %d not reproducible: %+v vs %+v", i, pts[i], again[i])
+		}
+	}
+	var sb strings.Builder
+	WriteEquilibriumTable(&sb, pts)
+	if !strings.Contains(sb.String(), "base $/h") || strings.Count(sb.String(), "\n") != 9 {
+		t.Fatalf("unexpected table:\n%s", sb.String())
+	}
+}

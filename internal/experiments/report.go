@@ -5,6 +5,8 @@ import (
 	"io"
 	"math"
 	"strings"
+
+	"rentplan/internal/market"
 )
 
 // RunAll executes every experiment and writes a textual report mirroring
@@ -298,5 +300,12 @@ func RunExtensions(cfg *Config, w io.Writer) error {
 	for _, p := range rdp {
 		fmt.Fprintf(w, "%8d %10d %12.4f %12.5f %12.5f\n", p.Kept, p.Vertices, p.Bound, p.Gap, p.Transport)
 	}
+
+	fmt.Fprintf(w, "\n== Extension: fleet market equilibrium (c1.medium, capacity-constrained) ==\n")
+	eq, err := FleetEquilibriumStudy(market.C1Medium, 20000, 10, cfg.DemandSeed)
+	if err != nil {
+		return err
+	}
+	WriteEquilibriumTable(w, eq)
 	return nil
 }

@@ -1,0 +1,247 @@
+package fleet
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rentplan/internal/market"
+	"rentplan/internal/serve/metrics"
+)
+
+func testConfig(t *testing.T, n, shards int) *Config {
+	t.Helper()
+	pop, err := SamplePopulation(n, market.C1Medium, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Config{
+		Class:      market.C1Medium,
+		Population: pop,
+		Shards:     shards,
+		Epochs:     4,
+		EpochHours: 72,
+		Feedback:   0.2,
+		Seed:       7,
+	}
+}
+
+func TestSamplePopulation(t *testing.T) {
+	pop, err := SamplePopulation(500, market.M1Large, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc, _ := market.DefaultGenConfig(market.M1Large)
+	crossable := 0
+	for i, a := range pop {
+		if a.Bid < gc.Quantum || a.Bid > gc.OnDemandCap {
+			t.Fatalf("ASP %d bid %v outside admissible band", i, a.Bid)
+		}
+		if a.BaseDemand <= 0 || a.DiurnalAmp < 0 || a.DiurnalAmp >= 1 {
+			t.Fatalf("ASP %d demand curve invalid: %+v", i, a)
+		}
+		if a.PlanHorizon < 24 || a.PlanHorizon > 96 {
+			t.Fatalf("ASP %d plan horizon %d outside [24,96]", i, a.PlanHorizon)
+		}
+		if a.Bid < 2*gc.BaseSpot {
+			crossable++
+		}
+	}
+	if crossable < 100 {
+		t.Fatalf("only %d/500 bids near the base level; traces would never cross them", crossable)
+	}
+	again, err := SamplePopulation(500, market.M1Large, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pop {
+		if pop[i] != again[i] {
+			t.Fatalf("sampling not deterministic at ASP %d", i)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	pop, _ := SamplePopulation(4, market.C1Medium, 1)
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"empty population", func(c *Config) { c.Population = nil }, "empty population"},
+		{"zero shards", func(c *Config) { c.Shards = 0 }, "shards"},
+		{"zero epochs", func(c *Config) { c.Epochs = 0 }, "epochs"},
+		{"zero hours", func(c *Config) { c.EpochHours = 0 }, "epoch hours"},
+		{"negative feedback", func(c *Config) { c.Feedback = -1 }, "feedback"},
+		{"nan feedback", func(c *Config) { c.Feedback = math.NaN() }, "feedback"},
+		{"bad bid", func(c *Config) { c.Population[2].Bid = math.Inf(1) }, "bid"},
+		{"bad amp", func(c *Config) { c.Population[1].DiurnalAmp = 1.5 }, "amplitude"},
+		{"bad horizon", func(c *Config) { c.Population[0].PlanHorizon = 0 }, "plan horizon"},
+	}
+	for _, tc := range cases {
+		cfg := &Config{
+			Class:      market.C1Medium,
+			Population: append([]ASP(nil), pop...),
+			Shards:     1, Epochs: 1, EpochHours: 24,
+		}
+		tc.mut(cfg)
+		_, err := Run(cfg)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// The polling baseline is an independently-written oracle: it visits every
+// slot of every ASP. The event engine must reproduce it exactly on the
+// integer counters (wakes, solves, slot tallies, the whole feedback
+// trajectory) and to float rounding on the costs.
+func TestEventEngineMatchesPollingOracle(t *testing.T) {
+	cfg := testConfig(t, 300, 4)
+	ev, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := RunPolling(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Wakes != pl.Wakes || ev.Solves != pl.Solves {
+		t.Fatalf("wake/solve counts diverge: event %d/%d polling %d/%d", ev.Wakes, ev.Solves, pl.Wakes, pl.Solves)
+	}
+	if ev.FinalBaseSpot != pl.FinalBaseSpot {
+		t.Fatalf("final base spot diverges: event %v polling %v", ev.FinalBaseSpot, pl.FinalBaseSpot)
+	}
+	for e := range ev.Epochs {
+		a, b := ev.Epochs[e], pl.Epochs[e]
+		if a != b {
+			t.Fatalf("epoch %d reports diverge:\nevent   %+v\npolling %+v", e, a, b)
+		}
+	}
+	for i := range ev.PerASP {
+		a, b := ev.PerASP[i], pl.PerASP[i]
+		if a.SpotSlots != b.SpotSlots || a.OnDemandSlots != b.OnDemandSlots ||
+			a.Wakes != b.Wakes || a.Solves != b.Solves {
+			t.Fatalf("ASP %d integer outcomes diverge:\nevent   %+v\npolling %+v", i, a, b)
+		}
+		if relDiff(a.Cost, b.Cost) > 1e-9 || relDiff(a.DemandGB, b.DemandGB) > 1e-9 {
+			t.Fatalf("ASP %d float outcomes diverge:\nevent   %+v\npolling %+v", i, a, b)
+		}
+	}
+	if relDiff(ev.TotalCost, pl.TotalCost) > 1e-9 {
+		t.Fatalf("total cost diverges: event %v polling %v", ev.TotalCost, pl.TotalCost)
+	}
+	// The event engine must actually be event-driven: far fewer wakes than
+	// slots simulated.
+	if ev.Wakes*4 > ev.SlotsSimulated {
+		t.Fatalf("event engine woke %d times over %d ASP-slots; not event-driven", ev.Wakes, ev.SlotsSimulated)
+	}
+}
+
+func TestFeedbackMovesPrices(t *testing.T) {
+	cfg := testConfig(t, 200, 2)
+	// Starve capacity so demand pressure must push the base level up.
+	cfg.Capacity = float64(len(cfg.Population)) * float64(cfg.EpochHours) / 100
+	cfg.Feedback = 0.5
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc, _ := market.DefaultGenConfig(cfg.Class)
+	if res.FinalBaseSpot <= gc.BaseSpot {
+		t.Fatalf("base spot %v did not rise from %v under starved capacity", res.FinalBaseSpot, gc.BaseSpot)
+	}
+	// And with the loop off the level never moves.
+	cfg.Feedback = 0
+	res0, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res0.FinalBaseSpot != gc.BaseSpot {
+		t.Fatalf("feedback 0 moved base spot to %v", res0.FinalBaseSpot)
+	}
+	for _, rep := range res0.Epochs {
+		if rep.BaseSpot != gc.BaseSpot {
+			t.Fatalf("epoch %d priced from %v with feedback off", rep.Epoch, rep.BaseSpot)
+		}
+	}
+}
+
+func TestTelemetry(t *testing.T) {
+	reg := metrics.NewRegistry()
+	cfg := testConfig(t, 120, 3)
+	cfg.Telemetry = NewTelemetry(reg)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.Telemetry.Wakes.Value(); got != float64(res.Wakes) {
+		t.Fatalf("wakes counter %v != result %d", got, res.Wakes)
+	}
+	if got := cfg.Telemetry.Epochs.Value(); got != float64(len(res.Epochs)) {
+		t.Fatalf("epochs counter %v != %d", got, len(res.Epochs))
+	}
+	var shardWakes float64
+	for s := 0; s < cfg.Shards; s++ {
+		shardWakes += cfg.Telemetry.ShardWakes.With(strconv.Itoa(s)).Value()
+	}
+	if shardWakes != float64(res.Wakes) {
+		t.Fatalf("per-shard wakes %v do not sum to total %d", shardWakes, res.Wakes)
+	}
+	if got := cfg.Telemetry.EpochSpotSlots.Count(); got != uint64(len(res.Epochs)) {
+		t.Fatalf("spot-slot histogram saw %d epochs, want %d", got, len(res.Epochs))
+	}
+	var epochSlots int64
+	for _, rep := range res.Epochs {
+		epochSlots += rep.SpotSlots
+	}
+	if got := cfg.Telemetry.EpochSpotSlots.Sum(); got != float64(epochSlots) {
+		t.Fatalf("spot-slot histogram sum %v != %d", got, epochSlots)
+	}
+}
+
+func TestSRRPPlannerSmoke(t *testing.T) {
+	pop, err := SamplePopulation(6, market.C1Medium, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &Config{
+		Class:      market.C1Medium,
+		Population: pop,
+		Shards:     2,
+		Epochs:     2,
+		EpochHours: 24,
+		Feedback:   0.2,
+		Seed:       11,
+		Planner:    PlannerSRRP,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCost <= 0 || res.Solves == 0 {
+		t.Fatalf("SRRP fleet produced empty result: %+v", res)
+	}
+	serial := *cfg
+	serial.Shards = 1
+	res1, err := Run(&serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCost != res1.TotalCost {
+		t.Fatalf("SRRP shard=2 cost %v != shard=1 cost %v", res.TotalCost, res1.TotalCost)
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if d == 0 {
+		return 0
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale == 0 {
+		return d
+	}
+	return d / scale
+}

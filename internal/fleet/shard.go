@@ -1,0 +1,183 @@
+package fleet
+
+import (
+	"cmp"
+	"context"
+	"math"
+	"slices"
+
+	"rentplan/internal/market"
+)
+
+// sharedParams are the run-wide constants every shard works from. Values
+// only; nothing here is mutated after construction.
+type sharedParams struct {
+	class      market.VMClass
+	planner    PlannerKind
+	treeStages int
+	maxBranch  int
+	// p0 is the calibrated reference price entering the elasticity rule.
+	p0       float64
+	lambda   float64
+	svcPerGB float64
+}
+
+// epochWork is one epoch's copy-in mailbox message. Every slice is owned by
+// the receiving shard — the market loop copies before sending and never
+// touches the copies again.
+type epochWork struct {
+	epoch     int
+	prices    []float64
+	changes   []int
+	priceSum  []float64 // prefix sums: priceSum[t] = Σ prices[0:t]
+	sinSum    []float64 // prefix sums of demand.Sin24
+	meanPrice float64
+}
+
+// epochAck is a shard's answer for one epoch: integer aggregates only, so
+// the market loop's feedback input sums exactly under any shard count.
+type epochAck struct {
+	spotSlots, wakes, solves int64
+}
+
+// shardState is the final handover when the run completes.
+type shardState struct {
+	lo       int
+	outcomes []ASPOutcome
+}
+
+// aspState packs one ASP's static attributes, per-epoch plan state, and
+// running accumulators into a single struct so a wake touches two cache
+// lines instead of a dozen scattered arrays. Shard state is kept in
+// ascending-bid order: the ASPs flipped by a price change old→new are then
+// the contiguous run with bid in [min, max), found by two binary searches
+// and swept sequentially.
+type aspState struct {
+	bid, baseDemand, amp, elast float64
+	// mult and inst are this epoch's elastic demand multiplier and the
+	// integer instance count it implies.
+	mult float64
+	inst int64
+	// segStart opens the current constant-regime segment; nextExpiry is
+	// the slot the committed plan dies at (stale bucket entries are
+	// skipped when they disagree).
+	horizon, segStart, nextExpiry int32
+	inBid                         bool
+	// Running accumulators, folded into ASPOutcome at handover.
+	cost, gb                 float64
+	spot, ondem, wake, solve int64
+}
+
+// shardWorker owns a contiguous ASP range [lo, lo+n). All of its state is
+// private: the market loop communicates exclusively through the
+// work/ack/done channels.
+type shardWorker struct {
+	id     int
+	lo     int
+	shared sharedParams
+
+	// st holds per-ASP state in ascending-bid order; sortedBids mirrors
+	// the bid of st[k] for binary search; perm maps sorted position back
+	// to the ASP's local index for the final handover.
+	st         []aspState
+	sortedBids []float64
+	perm       []int32
+
+	buckets [][]int32 // per-slot expiry buckets over sorted positions
+
+	work chan epochWork
+	ack  chan epochAck
+	done chan shardState
+}
+
+func newShardWorker(id int, pop []ASP, lo int, shared sharedParams) *shardWorker {
+	n := len(pop)
+	w := &shardWorker{
+		id:         id,
+		lo:         lo,
+		shared:     shared,
+		st:         make([]aspState, n),
+		sortedBids: make([]float64, n),
+		perm:       make([]int32, n),
+		work:       make(chan epochWork),
+		ack:        make(chan epochAck, 1),
+		done:       make(chan shardState, 1),
+	}
+	for i := range w.perm {
+		w.perm[i] = int32(i)
+	}
+	slices.SortFunc(w.perm, func(a, b int32) int {
+		if c := cmp.Compare(pop[a].Bid, pop[b].Bid); c != 0 {
+			return c
+		}
+		// Tie-break on the original index keeps the permutation
+		// deterministic under equal bids.
+		return cmp.Compare(a, b)
+	})
+	for k, li := range w.perm {
+		a := pop[li]
+		w.st[k] = aspState{
+			bid:        a.Bid,
+			baseDemand: a.BaseDemand,
+			amp:        a.DiurnalAmp,
+			elast:      a.Elasticity,
+			horizon:    int32(a.PlanHorizon),
+		}
+		w.sortedBids[k] = a.Bid
+	}
+	return w
+}
+
+// epochMult is the elastic demand multiplier (p0/meanPrice)^elasticity,
+// computed as exp(elast·ln(p0/meanPrice)) so the per-epoch log is shared
+// across the population. Both engines (event and polling) call exactly this
+// function, so the integer instance counts they derive agree bit for bit.
+func epochMult(elast, logPriceRatio float64) float64 {
+	return math.Exp(elast * logPriceRatio)
+}
+
+// handover folds the accumulators into ASPOutcome in original local-index
+// order and ships them to the market loop.
+func (w *shardWorker) handover() {
+	out := make([]ASPOutcome, len(w.st))
+	for k := range w.st {
+		s := &w.st[k]
+		out[w.perm[k]] = ASPOutcome{
+			Cost:          s.cost,
+			DemandGB:      s.gb,
+			SpotSlots:     s.spot,
+			OnDemandSlots: s.ondem,
+			Wakes:         s.wake,
+			Solves:        s.solve,
+		}
+	}
+	w.done <- shardState{lo: w.lo, outcomes: out}
+}
+
+// run is the worker loop: one epoch per mailbox message, ack after each,
+// state handover when the work channel closes. Every blocking operation
+// selects on ctx so cancellation can never strand a worker.
+func (w *shardWorker) run(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case job, ok := <-w.work:
+			if !ok {
+				w.handover()
+				return
+			}
+			var a epochAck
+			if w.shared.planner == PlannerSRRP {
+				a = w.runEpochSRRP(ctx, job)
+			} else {
+				a = w.runEpochLite(ctx, job)
+			}
+			select {
+			case w.ack <- a:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package fleet
+
+import "rentplan/internal/serve/metrics"
+
+// Telemetry aggregates fleet progress into a serve/metrics registry. All
+// observations happen on the market loop as shard acks arrive — workers
+// never touch the registry, so instrumentation cannot perturb determinism.
+type Telemetry struct {
+	// Wakes, Solves and SpotSlots are run totals across all shards.
+	Wakes, Solves, SpotSlots *metrics.Counter
+	// Epochs counts completed epochs.
+	Epochs *metrics.Counter
+	// ShardWakes and ShardSolves split the totals by shard id.
+	ShardWakes, ShardSolves *metrics.CounterVec
+	// BaseSpot tracks the generator base level after the latest feedback
+	// update; MeanPrice the latest epoch's realised mean price.
+	BaseSpot, MeanPrice *metrics.Gauge
+	// EpochSpotSlots observes each epoch's aggregate spot demand, so
+	// quantiles over the run are available for equilibrium dashboards.
+	EpochSpotSlots *metrics.Histogram
+}
+
+// NewTelemetry registers the fleet metric family on a registry.
+func NewTelemetry(r *metrics.Registry) *Telemetry {
+	return &Telemetry{
+		Wakes:          r.NewCounter("fleet_wakes_total", "ASP wake events across all shards"),
+		Solves:         r.NewCounter("fleet_solves_total", "plan solves across all shards"),
+		SpotSlots:      r.NewCounter("fleet_spot_slots_total", "spot instance-slots served"),
+		Epochs:         r.NewCounter("fleet_epochs_total", "completed market epochs"),
+		ShardWakes:     r.NewCounterVec("fleet_shard_wakes_total", "ASP wake events by shard", "shard"),
+		ShardSolves:    r.NewCounterVec("fleet_shard_solves_total", "plan solves by shard", "shard"),
+		BaseSpot:       r.NewGauge("fleet_base_spot_price", "generator base spot level after feedback"),
+		MeanPrice:      r.NewGauge("fleet_epoch_mean_price", "latest epoch realised mean spot price"),
+		EpochSpotSlots: r.NewHistogram("fleet_epoch_spot_slots", "per-epoch aggregate spot demand", nil),
+	}
+}
+
+// observeEpoch records a completed epoch; nextBase is the post-feedback
+// generator level the next epoch will price from.
+func (t *Telemetry) observeEpoch(rep EpochReport, nextBase float64) {
+	t.Wakes.Add(float64(rep.Wakes))
+	t.Solves.Add(float64(rep.Solves))
+	t.SpotSlots.Add(float64(rep.SpotSlots))
+	t.Epochs.Inc()
+	t.BaseSpot.Set(nextBase)
+	t.MeanPrice.Set(rep.MeanPrice)
+	t.EpochSpotSlots.Observe(float64(rep.SpotSlots))
+}

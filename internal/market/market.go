@@ -91,6 +91,15 @@ func (tr *SpotTrace) Hourly(start float64, n int) ([]float64, error) {
 	return tr.Events.Resample(start, n)
 }
 
+// HourlyChanges resamples the trace like Hourly and additionally returns the
+// ascending slot indices at which the hourly price actually moved. This is
+// the price-trigger feed consumed by the event-driven fleet simulator: an
+// agent whose bid is not crossed by any of these changes never needs to look
+// at the trace slot by slot.
+func (tr *SpotTrace) HourlyChanges(start float64, n int) ([]float64, []int, error) {
+	return tr.Events.ResampleChanges(start, n)
+}
+
 // GenConfig parameterises the auction-driven spot price generator for one
 // VM class.
 type GenConfig struct {
@@ -160,6 +169,21 @@ func DefaultGenConfig(class VMClass) (GenConfig, error) {
 		UpdatesPerDay:  10,
 		Quantum:        0.001,
 	}, nil
+}
+
+// ClampPrice clamps a clearing-price level into the generator's admissible
+// band [Quantum, OnDemandCap] — the same band clearingPrice enforces on every
+// auction outcome. The fleet simulator's demand-feedback loop routes its
+// adjusted base spot level through it so no amount of aggregate-demand
+// pressure can push the market outside the range the auction itself allows.
+func (c GenConfig) ClampPrice(p float64) float64 {
+	if p > c.OnDemandCap {
+		p = c.OnDemandCap
+	}
+	if p < c.Quantum {
+		p = c.Quantum
+	}
+	return p
 }
 
 // Generator produces spot traces for one class from a seeded auction model.

@@ -310,3 +310,62 @@ func TestFederationErrors(t *testing.T) {
 		t.Fatal("empty switch count")
 	}
 }
+
+// TestHourlyChangesMatchesHourly pins the change feed against the plain
+// resample: values bit-identical, and the change list exactly the slots
+// where the hourly price moves.
+func TestHourlyChangesMatchesHourly(t *testing.T) {
+	g, err := NewGenerator(C1Medium, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := g.Trace(14)
+	n := 14 * 24
+	plain, err := tr.Hourly(0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, changes, err := tr.HourlyChanges(0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if vals[i] != plain[i] {
+			t.Fatalf("slot %d: HourlyChanges %v != Hourly %v", i, vals[i], plain[i])
+		}
+	}
+	ci := 0
+	for s := 1; s < n; s++ {
+		moved := vals[s] != vals[s-1]
+		listed := ci < len(changes) && changes[ci] == s
+		if listed {
+			ci++
+		}
+		if moved != listed {
+			t.Fatalf("slot %d: moved=%v listed=%v", s, moved, listed)
+		}
+	}
+	if ci != len(changes) {
+		t.Fatalf("change list has %d extra entries", len(changes)-ci)
+	}
+	if len(changes) == 0 {
+		t.Fatal("a 14-day trace should move at least once")
+	}
+}
+
+// TestClampPrice pins the feedback clamp to the auction's own band.
+func TestClampPrice(t *testing.T) {
+	cfg, err := DefaultGenConfig(M1Large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.ClampPrice(1e9); got != cfg.OnDemandCap {
+		t.Fatalf("high clamp = %v, want %v", got, cfg.OnDemandCap)
+	}
+	if got := cfg.ClampPrice(0); got != cfg.Quantum {
+		t.Fatalf("low clamp = %v, want %v", got, cfg.Quantum)
+	}
+	if got := cfg.ClampPrice(cfg.BaseSpot); got != cfg.BaseSpot {
+		t.Fatalf("in-band clamp moved %v to %v", cfg.BaseSpot, got)
+	}
+}

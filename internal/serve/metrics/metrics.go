@@ -98,6 +98,16 @@ func (h *Histogram) Count() uint64 {
 	return h.count
 }
 
+// Sum returns the running sum of all observed values, the _sum series of
+// the exposition format. Together with Count it yields the running mean
+// without rescraping — the fleet benchmark derives mean epoch spot demand
+// from it.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
 // Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts by
 // linear interpolation inside the containing bucket, the same estimate
 // Prometheus's histogram_quantile computes. It returns NaN with no

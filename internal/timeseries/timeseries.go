@@ -45,11 +45,15 @@ func (es *EventSeries) Sort() {
 // of each hour, the spot price is set to be the most recent updated price in
 // the last hour. If no update appears in the last hour, the spot price is
 // considered unchanged." Concretely, out[t] is the most recent value at or
-// before hour start+t; if no event precedes the window, the first event's
-// value is adopted.
+// before hour start+t; if no event precedes the window, the value effective
+// at the first event's instant is adopted (the last of any duplicate events
+// sharing that timestamp, matching Sort's later-appended-wins contract).
 func (es *EventSeries) Resample(start float64, n int) ([]float64, error) {
 	if n <= 0 {
 		return nil, errors.New("timeseries: resample length must be positive")
+	}
+	if math.IsNaN(start) || math.IsInf(start, 0) {
+		return nil, fmt.Errorf("timeseries: resample start %v is not finite", start)
 	}
 	if len(es.Events) == 0 {
 		return nil, errors.New("timeseries: no events to resample")
@@ -64,7 +68,15 @@ func (es *EventSeries) Resample(start float64, n int) ([]float64, error) {
 	if idx > 0 {
 		cur = es.Events[idx-1].Value
 	} else {
-		cur = es.Events[0].Value // no history yet: adopt the first update
+		// No history yet: adopt the price effective at the first update's
+		// instant. With duplicate events at that timestamp, the most recent
+		// update (the last in order) is the effective one; adopting the
+		// literal first would resurrect a price that was superseded the
+		// moment it appeared.
+		cur = es.Events[0].Value
+		for j := 1; j < len(es.Events) && es.Events[j].Hour == es.Events[0].Hour; j++ { //lint:ignore rentlint/floatcmp duplicate-timestamp detection: only events sharing the exact same update instant are superseded in place
+			cur = es.Events[j].Value
+		}
 	}
 	ev := idx
 	for t := 0; t < n; t++ {
@@ -76,6 +88,26 @@ func (es *EventSeries) Resample(start float64, n int) ([]float64, error) {
 		out[t] = cur
 	}
 	return out, nil
+}
+
+// ResampleChanges resamples like Resample and additionally returns the
+// ascending slot indices t (1 ≤ t < n) at which the resampled value differs
+// from the previous slot's. This is the change feed the event-driven fleet
+// simulator consumes: a planning agent only needs to look at the slots where
+// the hourly price actually moved, of which there are at most
+// min(n−1, len(Events)).
+func (es *EventSeries) ResampleChanges(start float64, n int) ([]float64, []int, error) {
+	out, err := es.Resample(start, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	var changes []int
+	for t := 1; t < n; t++ {
+		if out[t] != out[t-1] { //lint:ignore rentlint/floatcmp change detection: resampled values are copied event values, so an unchanged price is bit-identical by construction
+			changes = append(changes, t)
+		}
+	}
+	return out, changes, nil
 }
 
 // DailyUpdateCounts returns the number of update events in each 24-hour day

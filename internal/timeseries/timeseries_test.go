@@ -350,3 +350,136 @@ func TestEventSeriesValues(t *testing.T) {
 		t.Fatalf("values %v", vs)
 	}
 }
+
+// TestResampleEdgeCases is the table test for the paths the event-driven
+// fleet core leans on: empty series, a first event after the window start,
+// duplicate-hour events (including duplicates at the very first timestamp),
+// boundary-exact events, and non-finite starts.
+func TestResampleEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		events  []Event
+		start   float64
+		n       int
+		want    []float64 // nil = expect an error
+		changes []int     // expected ResampleChanges slots (nil = none)
+	}{
+		{
+			name:   "empty series errors",
+			events: nil, start: 0, n: 4, want: nil,
+		},
+		{
+			name:   "non-positive length errors",
+			events: []Event{{Hour: 0, Value: 1}}, start: 0, n: 0, want: nil,
+		},
+		{
+			name:   "NaN start errors",
+			events: []Event{{Hour: 0, Value: 1}}, start: math.NaN(), n: 2, want: nil,
+		},
+		{
+			name:   "Inf start errors",
+			events: []Event{{Hour: 0, Value: 1}}, start: math.Inf(1), n: 2, want: nil,
+		},
+		{
+			name:   "first event after start adopts its value",
+			events: []Event{{Hour: 2.5, Value: 8}, {Hour: 4.1, Value: 9}},
+			start:  0, n: 6,
+			want:    []float64{8, 8, 8, 8, 8, 9},
+			changes: []int{5},
+		},
+		{
+			name: "duplicate events at the first timestamp: last wins pre-window too",
+			events: []Event{
+				{Hour: 1.5, Value: 3}, // superseded the instant it appears
+				{Hour: 1.5, Value: 5},
+				{Hour: 3.0, Value: 7},
+			},
+			start: 0, n: 5,
+			want:    []float64{5, 5, 5, 7, 7},
+			changes: []int{3},
+		},
+		{
+			name: "duplicate-hour events mid-window: most recent wins",
+			events: []Event{
+				{Hour: 0, Value: 1},
+				{Hour: 2.3, Value: 4},
+				{Hour: 2.3, Value: 6},
+			},
+			start: 0, n: 4,
+			want:    []float64{1, 1, 1, 6},
+			changes: []int{3},
+		},
+		{
+			name:   "event exactly at a slot boundary lands in that slot",
+			events: []Event{{Hour: 0, Value: 2}, {Hour: 2, Value: 9}},
+			start:  0, n: 4,
+			want:    []float64{2, 2, 9, 9},
+			changes: []int{2},
+		},
+		{
+			name:   "events at and before start: most recent at start wins",
+			events: []Event{{Hour: 1, Value: 2}, {Hour: 5, Value: 4}, {Hour: 5, Value: 6}},
+			start:  5, n: 3,
+			want: []float64{6, 6, 6},
+		},
+		{
+			name:   "constant series yields no changes",
+			events: []Event{{Hour: 0, Value: 3}, {Hour: 2.5, Value: 3}},
+			start:  0, n: 5,
+			want: []float64{3, 3, 3, 3, 3},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			es := &EventSeries{Events: tc.events}
+			got, err := es.Resample(tc.start, tc.n)
+			if tc.want == nil {
+				if err == nil {
+					t.Fatalf("Resample: no error, got %v", got)
+				}
+				if _, _, err2 := es.ResampleChanges(tc.start, tc.n); err2 == nil {
+					t.Fatal("ResampleChanges: no error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Resample: %v", err)
+			}
+			for i := range tc.want {
+				if got[i] != tc.want[i] {
+					t.Fatalf("Resample = %v, want %v", got, tc.want)
+				}
+			}
+			vals, changes, err := es.ResampleChanges(tc.start, tc.n)
+			if err != nil {
+				t.Fatalf("ResampleChanges: %v", err)
+			}
+			for i := range tc.want {
+				if vals[i] != tc.want[i] {
+					t.Fatalf("ResampleChanges values = %v, want %v", vals, tc.want)
+				}
+			}
+			if len(changes) != len(tc.changes) {
+				t.Fatalf("changes = %v, want %v", changes, tc.changes)
+			}
+			for i := range changes {
+				if changes[i] != tc.changes[i] {
+					t.Fatalf("changes = %v, want %v", changes, tc.changes)
+				}
+			}
+			// The change list must be exactly the slots where the value moves.
+			for s := 1; s < tc.n; s++ {
+				moved := vals[s] != vals[s-1]
+				listed := false
+				for _, c := range changes {
+					if c == s {
+						listed = true
+					}
+				}
+				if moved != listed {
+					t.Fatalf("slot %d: moved=%v listed=%v (changes %v, vals %v)", s, moved, listed, changes, vals)
+				}
+			}
+		})
+	}
+}
